@@ -1,0 +1,259 @@
+// Root benchmark harness: one Benchmark per experiment table (E1-E12,
+// DESIGN.md §3), so `go test -bench=.` regenerates the evaluation in
+// quick form, plus microbenchmarks of the substrate layers.
+//
+// Benchmark wall-clock times measure SIMULATOR THROUGHPUT on the host;
+// every number inside the tables is virtual time, immune to the Go
+// runtime and GC (DESIGN.md §4, last row). Custom metrics expose the
+// headline virtual-time results so `-bench` output records them.
+package northstar_test
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"northstar"
+	"northstar/internal/experiments"
+)
+
+// runExperiment executes one experiment spec per benchmark iteration and
+// reports a custom metric extracted from its table.
+func runExperiment(b *testing.B, id string, metric func(t *experiments.Table) (float64, string)) {
+	b.Helper()
+	spec, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab, err = spec.Run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil {
+		v, name := metric(tab)
+		b.ReportMetric(v, name)
+	}
+}
+
+func cellFloat(b *testing.B, t *experiments.Table, row int, col string) float64 {
+	b.Helper()
+	s, err := t.Cell(row, col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s = strings.TrimPrefix(s, "> ")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric", s)
+	}
+	return v
+}
+
+func BenchmarkE1TechCurves(b *testing.B) {
+	runExperiment(b, "E1", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "GF/socket"), "GF/socket@2012"
+	})
+}
+
+func BenchmarkE2FixedBudget(b *testing.B) {
+	runExperiment(b, "E2", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "peak-TF"), "peak-TF@2012/$1M"
+	})
+}
+
+func BenchmarkE3NodeArch(b *testing.B) {
+	runExperiment(b, "E3", func(t *experiments.Table) (float64, string) {
+		// 2010 block (rows 10-14 with 5 arches), smp-on-chip row.
+		return cellFloat(b, t, 12, "GF/W"), "cmp-GF/W@2010"
+	})
+}
+
+func BenchmarkE4ArchApps(b *testing.B) {
+	runExperiment(b, "E4", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 1, "pim"), "stencil-pim-vs-conv"
+	})
+}
+
+func BenchmarkE5PingPong(b *testing.B) {
+	runExperiment(b, "E5", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 4, "latency-us(8B)"), "ib-latency-us"
+	})
+}
+
+func BenchmarkE6Collectives(b *testing.B) {
+	runExperiment(b, "E6", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 4, "P=64"), "ib-barrier-us@64"
+	})
+}
+
+func BenchmarkE6bAllreduceAlgos(b *testing.B) {
+	runExperiment(b, "E6b", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "ring"), "ring-ms@1MB"
+	})
+}
+
+func BenchmarkE7Optical(b *testing.B) {
+	runExperiment(b, "E7", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "optical-circuit"), "optical-ms@4MB"
+	})
+}
+
+func BenchmarkE8Scheduling(b *testing.B) {
+	runExperiment(b, "E8", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 1, "utilization"), "easy-utilization"
+	})
+}
+
+func BenchmarkE9MTBF(b *testing.B) {
+	runExperiment(b, "E9", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "all-up-availability"), "availability@100k"
+	})
+}
+
+func BenchmarkE10Checkpoint(b *testing.B) {
+	runExperiment(b, "E10", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "useful-frac@opt"), "useful-frac@8192"
+	})
+}
+
+func BenchmarkE11Petaflops(b *testing.B) {
+	runExperiment(b, "E11", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "crossing-year"), "all-innov-crossing-year"
+	})
+}
+
+func BenchmarkE12Ablation(b *testing.B) {
+	runExperiment(b, "E12", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "vs-moore-only"), "innovation-factor"
+	})
+}
+
+// ---- substrate microbenchmarks (host throughput of the simulator) ----
+
+func BenchmarkSimulatorStencil64(b *testing.B) {
+	nodeModel, err := northstar.BuildNode(northstar.Conventional, northstar.DefaultRoadmap(), 2002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := northstar.NewMachine(northstar.MachineConfig{
+			Nodes: 64, Node: nodeModel, Fabric: northstar.Myrinet2000(), Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := northstar.ExecuteApp(m, northstar.MsgOptions{}, northstar.Stencil2D{
+			GridX: 1024, GridY: 1024, Iters: 10,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorAlltoallPacket(b *testing.B) {
+	nodeModel, err := northstar.BuildNode(northstar.Conventional, northstar.DefaultRoadmap(), 2002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := northstar.NewMachine(northstar.MachineConfig{
+			Nodes: 16, Node: nodeModel, Fabric: northstar.InfiniBand4X(),
+			PacketLevel: true, Topology: northstar.TopoFatTree, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := northstar.RunSPMD(m, northstar.MsgOptions{}, func(r *northstar.Rank) {
+			r.Alltoall(64 << 10)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerEASY1000(b *testing.B) {
+	trace, err := northstar.GenerateTrace(northstar.TraceConfig{
+		Jobs: 1000, MaxNodes: 128, Load: 0.8, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs := make([]*northstar.Job, len(trace))
+		for k, j := range trace {
+			cp := *j
+			cp.Start, cp.End = 0, 0
+			jobs[k] = &cp
+		}
+		if _, err := northstar.Schedule(128, jobs, northstar.EASY{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullQuickSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full suite")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := northstar.RunExperiments(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkX1Hybrid(b *testing.B) {
+	runExperiment(b, "X1", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 0, "hybrid/flat"), "stencil-hybrid-vs-flat"
+	})
+}
+
+func BenchmarkX2Degraded(b *testing.B) {
+	runExperiment(b, "X2", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "slowdown"), "slowdown@8-failures"
+	})
+}
+
+func BenchmarkX3PowerWall(b *testing.B) {
+	runExperiment(b, "X3", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 1, "retained"), "cmp-retained"
+	})
+}
+
+func BenchmarkX4CheckpointIO(b *testing.B) {
+	runExperiment(b, "X4", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 1, "useful-frac"), "shared-io-useful-frac"
+	})
+}
+
+func BenchmarkX5Monitoring(b *testing.B) {
+	runExperiment(b, "X5", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "tree-levels"), "tree-levels@max"
+	})
+}
+
+func BenchmarkX6Placement(b *testing.B) {
+	runExperiment(b, "X6", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 2, "utilization"), "contiguous-utilization"
+	})
+}
+
+func BenchmarkE5bEagerRendezvous(b *testing.B) {
+	runExperiment(b, "E5b", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, 0, "limit=1B"), "rendezvous-us@256B"
+	})
+}
+
+func BenchmarkX7Congestion(b *testing.B) {
+	runExperiment(b, "X7", func(t *experiments.Table) (float64, string) {
+		return cellFloat(b, t, len(t.Rows)-1, "slowdown(buf=2)"), "victim-slowdown@max-incast"
+	})
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the evaluation suite E1-E12 (see
+// DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments               # run everything at full scale, text tables
+//	experiments -quick        # CI-scale sweeps
+//	experiments -id E7        # one experiment
+//	experiments -csv out/     # also write one CSV per table into out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"northstar/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for fast runs")
+	id := flag.String("id", "", "run only this experiment (e.g. E7)")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Parse()
+
+	specs := experiments.All()
+	if *id != "" {
+		s, err := experiments.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		specs = []experiments.Spec{s}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, s := range specs {
+		t, err := s.Run(*quick)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", s.ID, err))
+		}
+		t.Fprint(os.Stdout)
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := t.CSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

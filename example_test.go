@@ -1,0 +1,93 @@
+package northstar_test
+
+import (
+	"fmt"
+	"log"
+
+	"northstar"
+)
+
+// Example builds a small 2002 Beowulf, runs an embarrassingly parallel
+// kernel on it in virtual time, and reports the sustained fraction of
+// peak. Simulation is deterministic, so the output is exact.
+func Example() {
+	nodeModel, err := northstar.BuildNode(northstar.Conventional, northstar.DefaultRoadmap(), 2002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := northstar.NewMachine(northstar.MachineConfig{
+		Nodes: 16, Node: nodeModel, Fabric: northstar.Myrinet2000(), Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := northstar.ExecuteApp(m, northstar.MsgOptions{}, northstar.EP{FlopsPerRank: 1e9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d nodes, %.0f%% of peak sustained\n", rep.Nodes, rep.Efficiency*100)
+	// Output: 16 nodes, 80% of peak sustained
+}
+
+// ExampleExplorer_FindCrossing asks the headline question: when does a
+// $20M commodity cluster sustain a petaflops?
+func ExampleExplorer_FindCrossing() {
+	e := northstar.Explorer{
+		Constraint: northstar.Constraint{BudgetDollars: 20e6},
+		LastYear:   2020,
+	}
+	c, err := e.FindCrossing(northstar.AllInnovations(), 1e15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1 PF sustained for $20M: %.0f (%s nodes on %s)\n",
+		c.Year, c.Metrics.Spec.Arch, c.Metrics.Spec.Fabric)
+	// Output: 1 PF sustained for $20M: 2012 (smp-on-chip nodes on optical-circuit)
+}
+
+// ExampleYoungInterval plans checkpointing for a 4096-node machine with
+// 1000-day node MTBF and 5-minute checkpoint writes.
+func ExampleYoungInterval() {
+	mtbf := 1000 * northstar.Day / 4096
+	ivl := northstar.YoungInterval(5*northstar.Minute, mtbf)
+	fmt.Printf("system MTBF %v, checkpoint every %v\n", mtbf, ivl)
+	// Output: system MTBF 5.859h, checkpoint every 59.29min
+}
+
+// ExampleGenerateTrace produces a synthetic batch workload and schedules
+// it with EASY backfill.
+func ExampleGenerateTrace() {
+	trace, err := northstar.GenerateTrace(northstar.TraceConfig{
+		Jobs: 500, MaxNodes: 64, Load: 0.8, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := northstar.Schedule(64, trace, northstar.EASY{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d jobs, utilization %.0f%%\n", res.Jobs, res.Utilization*100)
+	// Output: 500 jobs, utilization 74%
+}
+
+// ExampleRunSPMD writes an SPMD program directly against the rank API:
+// each rank computes, then all ranks combine a scalar.
+func ExampleRunSPMD() {
+	nodeModel, _ := northstar.BuildNode(northstar.PIM, northstar.DefaultRoadmap(), 2006)
+	m, err := northstar.NewMachine(northstar.MachineConfig{
+		Nodes: 8, Node: nodeModel, Fabric: northstar.QsNet(), Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	end, err := northstar.RunSPMD(m, northstar.MsgOptions{}, func(r *northstar.Rank) {
+		r.Compute(0, 1e9) // stream 1 GB: memory-bound, PIM's home turf
+		r.Allreduce(8)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v of virtual time\n", end)
+	// Output: done in 1.95ms of virtual time
+}

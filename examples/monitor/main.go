@@ -1,0 +1,49 @@
+// Monitor: management software at exploding scale. A flat "every node
+// reports to the master" health monitor falls over in the thousands of
+// nodes; a k-ary reporting tree holds failure-detection latency nearly
+// flat to 100k nodes — the keynote's claim that system software must
+// take on new responsibilities as scale explodes.
+//
+// Run with: go run ./examples/monitor [-period SECONDS] [-fanout K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"northstar"
+)
+
+func main() {
+	periodSec := flag.Float64("period", 1, "heartbeat period, seconds")
+	fanout := flag.Int("fanout", 16, "reporting-tree arity")
+	flag.Parse()
+
+	period := northstar.Time(*periodSec) * northstar.Second
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "nodes\tflat load/s\tflat detect\ttree levels\ttree detect\ttree detect (simulated)")
+	for _, n := range []int{64, 512, 4096, 32768, 262144} {
+		flat := northstar.HealthMonitor{Nodes: n, Period: period}
+		tree := northstar.HealthMonitor{Nodes: n, Period: period, Fanout: *fanout}
+		flatDetect := "unbounded"
+		if !flat.Saturated() {
+			flatDetect = flat.DetectionLatency().String()
+		}
+		simulated := "-"
+		if n <= 512 {
+			got, err := tree.SimulateDetection(42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			simulated = got.String()
+		}
+		fmt.Fprintf(w, "%d\t%.0f\t%s\t%d\t%v\t%s\n",
+			n, flat.CollectorLoad(), flatDetect, tree.Levels(), tree.DetectionLatency(), simulated)
+	}
+	w.Flush()
+	fmt.Println("\nflat monitoring saturates its master; the tree pays ~50 ms per level and")
+	fmt.Println("keeps detection near (misses+1) x period at any scale.")
+}

@@ -1,0 +1,56 @@
+// Petaflops: the keynote's headline question — when does a fixed-budget
+// commodity cluster reach the trans-Petaflops regime, and how much do
+// the architectural innovations (blades, SMP-on-chip, PIM, better
+// fabrics) pull that date in versus Moore's law alone?
+//
+// Run with: go run ./examples/petaflops [-budget DOLLARS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"northstar"
+)
+
+func main() {
+	budget := flag.Float64("budget", 20e6, "hardware budget in dollars")
+	flag.Parse()
+
+	e := northstar.Explorer{
+		Constraint: northstar.Constraint{BudgetDollars: *budget},
+		LastYear:   2020,
+	}
+
+	fmt.Printf("when does a $%.0fM commodity cluster sustain 1 PF (Linpack)?\n\n", *budget/1e6)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tcrossing\tnodes\tarch\tfabric\tpower MW")
+	for _, s := range northstar.Scenarios() {
+		c, err := e.FindCrossing(s, 1e15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		year := fmt.Sprintf("%.1f", c.Year)
+		if !c.Reached {
+			year = fmt.Sprintf("after %.0f", c.Year)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%.1f\n",
+			c.Scenario, year, c.Metrics.Spec.Nodes, c.Metrics.Spec.Arch,
+			c.Metrics.Spec.Fabric, c.Metrics.PowerWatts/1e6)
+	}
+	w.Flush()
+
+	fmt.Println("\ninnovation waterfall at 2010 (sustained TF under the budget):")
+	steps, err := e.Waterfall(2010, northstar.Scenarios())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := steps[0].Value
+	for _, s := range steps {
+		fmt.Printf("  %-16s %8.1f TF  (%.2fx moore-only)\n", s.Scenario, s.Value/1e12, s.Value/base)
+	}
+	fmt.Println("\neven at the North Pole, with the right technology, you can go straight up.")
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a simulated 2002 Beowulf cluster, run a parallel
+// application on it in virtual time, and project what the same budget
+// buys by 2010.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"northstar"
+)
+
+func main() {
+	// 1. A 64-node cluster of 2002 dual-Xeon nodes on Myrinet.
+	roadmap := northstar.DefaultRoadmap()
+	nodeModel, err := northstar.BuildNode(northstar.Conventional, roadmap, 2002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := northstar.NewMachine(northstar.MachineConfig{
+		Nodes:  64,
+		Node:   nodeModel,
+		Fabric: northstar.Myrinet2000(),
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine:", m)
+
+	// 2. Run a Jacobi stencil on it. All timing is virtual: the result
+	// is deterministic and independent of the host.
+	rep, err := northstar.ExecuteApp(m, northstar.MsgOptions{}, northstar.Stencil2D{
+		GridX: 4096, GridY: 4096, Iters: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stencil: ", rep)
+
+	// 3. Write your own SPMD program directly against the rank API.
+	m2, err := northstar.NewMachine(northstar.MachineConfig{
+		Nodes:  8,
+		Node:   nodeModel,
+		Fabric: northstar.GigabitEthernet(),
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	end, err := northstar.RunSPMD(m2, northstar.MsgOptions{}, func(r *northstar.Rank) {
+		r.Compute(1e9, 1e8) // 1 Gflop touching 100 MB
+		r.Allreduce(8)      // one scalar dot-product reduction
+		if r.ID() == 0 {
+			fmt.Printf("rank 0 done at %v\n", r.Now())
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SPMD program finished at", end)
+
+	// 4. What does the same $1M buy over the decade?
+	e := northstar.Explorer{Constraint: northstar.Constraint{BudgetDollars: 1e6}}
+	for _, year := range []float64{2002, 2006, 2010} {
+		best, err := e.Best(northstar.MooreOnly(), year)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sustained, eff := best.LinpackEstimate()
+		fmt.Printf("%.0f: %s  -> %.2f TF sustained (%.0f%% HPL efficiency)\n",
+			year, best, sustained/1e12, eff*100)
+	}
+}

@@ -1,0 +1,3 @@
+module northstar
+
+go 1.22

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"northstar/internal/node"
+)
+
+func linpackFor(t *testing.T, fabric string, nodes int, year float64) (float64, float64) {
+	t.Helper()
+	m, err := Build(Spec{Name: "x", Year: year, Arch: node.Conventional, Nodes: nodes, Fabric: fabric}, roadmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.LinpackEstimate()
+}
+
+func TestLinpackEfficiencyPeckingOrder(t *testing.T) {
+	// 256-node 2002 cluster: the published era ordering — Ethernet
+	// clusters at mediocre efficiency, specialized fabrics high.
+	_, fe := linpackFor(t, "fast-ethernet", 256, 2002)
+	_, ge := linpackFor(t, "gigabit-ethernet", 256, 2002)
+	_, my := linpackFor(t, "myrinet-2000", 256, 2002)
+	_, ib := linpackFor(t, "infiniband-4x", 256, 2002)
+	if !(fe < ge && ge < my && my < ib) {
+		t.Fatalf("efficiency ordering broken: fe=%.2f ge=%.2f my=%.2f ib=%.2f", fe, ge, my, ib)
+	}
+	if fe > 0.35 {
+		t.Errorf("fast-ethernet efficiency %.2f, should be poor at 256 nodes", fe)
+	}
+	if ge < 0.3 || ge > 0.85 {
+		t.Errorf("gigabit efficiency %.2f, want mid-range", ge)
+	}
+	if ib < 0.75 {
+		t.Errorf("infiniband efficiency %.2f, want high", ib)
+	}
+}
+
+func TestLinpackEfficiencyDegradesWithScale(t *testing.T) {
+	_, small := linpackFor(t, "gigabit-ethernet", 32, 2002)
+	_, large := linpackFor(t, "gigabit-ethernet", 2048, 2002)
+	if large >= small {
+		t.Errorf("efficiency grew with scale: %d->%.2f vs %.2f", 2048, large, small)
+	}
+}
+
+func TestLinpackSustainedBelowPeak(t *testing.T) {
+	m, err := Build(spec2002(128), roadmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sustained, eff := m.LinpackEstimate()
+	if sustained <= 0 || sustained >= m.PeakFlops {
+		t.Fatalf("sustained %g vs peak %g", sustained, m.PeakFlops)
+	}
+	if eff <= 0 || eff >= 1 {
+		t.Fatalf("efficiency = %g", eff)
+	}
+	// Sustained = peak x node-sustained-fraction x efficiency.
+	want := m.PeakFlops * m.Node.Sustained * eff
+	if diff := (sustained - want) / want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sustained %g inconsistent with eff %g", sustained, eff)
+	}
+}
+
+func TestLinpackUnknownFabricIsZero(t *testing.T) {
+	m, err := Build(spec2002(8), roadmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Spec.Fabric = "gone"
+	if s, e := m.LinpackEstimate(); s != 0 || e != 0 {
+		t.Fatalf("unknown fabric gave %g, %g", s, e)
+	}
+}
+
+func TestFabricPortCostDeclines(t *testing.T) {
+	early := fabricPortCost("infiniband-4x", 2002)
+	late := fabricPortCost("infiniband-4x", 2009)
+	if late >= early {
+		t.Fatalf("IB port cost did not decline: %g -> %g", early, late)
+	}
+	if late > 400 {
+		t.Errorf("2009 IB port = $%.0f, want commoditized (< $400)", late)
+	}
+}

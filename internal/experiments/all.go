@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Spec names one experiment and how to run it.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(quick bool) (*Table, error)
+}
+
+// All returns the full experiment suite in order. Pass quick=true to the
+// Run functions for CI-scale sweeps.
+func All() []Spec {
+	wrap := func(f func() (*Table, error)) func(bool) (*Table, error) {
+		return func(bool) (*Table, error) { return f() }
+	}
+	return []Spec{
+		{"E1", "device-technology curves", wrap(E1TechCurves)},
+		{"E2", "fixed-budget cluster growth", wrap(E2FixedBudget)},
+		{"E3", "node-architecture comparison", wrap(E3NodeArch)},
+		{"E4", "application sensitivity to architecture", E4ArchApps},
+		{"E5", "interconnect microbenchmarks", E5PingPong},
+		{"E5b", "eager/rendezvous protocol ablation", E5bEagerRendezvous},
+		{"E6", "collective scaling", E6Collectives},
+		{"E6b", "allreduce algorithm ablation", E6bAllreduceAlgos},
+		{"E7", "optical circuit-switching crossover", E7Optical},
+		{"E8", "batch scheduling policies", E8Scheduling},
+		{"E9", "MTBF and availability vs scale", wrap(E9MTBF)},
+		{"E10", "checkpoint/restart optimum", E10Checkpoint},
+		{"E11", "trans-petaflops crossing", wrap(E11Petaflops)},
+		{"E12", "innovation waterfall", wrap(E12Ablation)},
+		{"X1", "hybrid vs flat placement on SMP nodes", X1Hybrid},
+		{"X2", "degraded-fabric operation", X2Degraded},
+		{"X3", "power-wall sensitivity", wrap(X3PowerWall)},
+		{"X4", "I/O-limited checkpointing", X4CheckpointIO},
+		{"X5", "management/monitoring scalability", X5Monitoring},
+		{"X6", "node placement: contiguous vs scatter", X6Placement},
+		{"X7", "congestion trees under credit flow control", X7Congestion},
+	}
+}
+
+// ByID returns the experiment spec with the given ID.
+func ByID(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment, printing each table to w as it
+// completes. It returns the tables.
+func RunAll(w io.Writer, quick bool) ([]*Table, error) {
+	var out []*Table
+	for _, s := range All() {
+		t, err := s.Run(quick)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s failed: %w", s.ID, err)
+		}
+		t.Fprint(w)
+		out = append(out, t)
+	}
+	return out, nil
+}

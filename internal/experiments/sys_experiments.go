@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"northstar/internal/fault"
+	"northstar/internal/sched"
+	"northstar/internal/sim"
+	"northstar/internal/stats"
+)
+
+// E8Scheduling reproduces claim C5: resource-management policies on a
+// 128-node cluster under rising offered load.
+func E8Scheduling(quick bool) (*Table, error) {
+	nodes := 128
+	jobs := 3000
+	loads := []float64{0.6, 0.7, 0.8, 0.9}
+	if quick {
+		jobs = 400
+		loads = []float64{0.7, 0.9}
+	}
+	t := &Table{
+		ID:      "E8",
+		Title:   fmt.Sprintf("Batch scheduling, %d nodes, %d synthetic jobs", nodes, jobs),
+		Columns: []string{"load", "policy", "utilization", "mean-wait-min", "p95-wait-min", "bounded-slowdown"},
+		Notes: []string{
+			"expected shape: EASY/conservative beat FCFS on utilization and slowdown, most at high load; gang trades throughput for short-job responsiveness",
+		},
+	}
+	for _, load := range loads {
+		trace, err := sched.GenerateTrace(sched.TraceConfig{
+			Jobs: jobs, MaxNodes: nodes, Load: load, Seed: 20020923,
+		})
+		if err != nil {
+			return nil, err
+		}
+		clone := func() []*sched.Job {
+			out := make([]*sched.Job, len(trace))
+			for i, j := range trace {
+				cp := *j
+				cp.Start, cp.End = 0, 0
+				out[i] = &cp
+			}
+			return out
+		}
+		addRow := func(res sched.Result) {
+			t.AddRow(
+				fmt.Sprintf("%.2f", load),
+				res.Policy,
+				res.Utilization,
+				float64(res.MeanWait)/60,
+				float64(res.P95Wait)/60,
+				res.MeanBoundedSlowdown,
+			)
+		}
+		for _, p := range []sched.Policy{sched.FCFS{}, sched.EASY{}, sched.Conservative{}} {
+			res, err := sched.Simulate(nodes, clone(), p)
+			if err != nil {
+				return nil, err
+			}
+			addRow(res)
+		}
+		res, err := sched.SimulateGang(nodes, clone(), sched.GangConfig{})
+		if err != nil {
+			return nil, err
+		}
+		addRow(res)
+	}
+	return t, nil
+}
+
+// E9MTBF reproduces claim C6's scale argument: system MTBF and all-up
+// availability as node count grows, for exponential and infant-mortality
+// (Weibull shape 0.7) node lifetimes with a 1000-day node MTBF and
+// 4-hour repairs.
+func E9MTBF() (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Failure behavior vs scale (1000-day node MTBF, 4 h repair)",
+		Columns: []string{"nodes", "mtbf(exp)", "first-failure(weibull-0.7)", "all-up-availability"},
+		Notes: []string{
+			"expected shape: MTBF ~ 1/N; hours at 10^4-10^5 nodes; all-up availability collapses — fault recovery is mandatory at scale",
+		},
+	}
+	nodeMTBF := 1000 * sim.Day
+	weibullScale := float64(nodeMTBF) / math.Gamma(1+1/0.7)
+	for _, n := range []int{1, 10, 100, 1000, 10000, 100000} {
+		expo := fault.System{
+			Nodes:    n,
+			Lifetime: stats.Exponential{Rate: 1 / float64(nodeMTBF)},
+			Repair:   stats.Constant{V: float64(4 * sim.Hour)},
+		}
+		weib := fault.System{Nodes: n, Lifetime: stats.Weibull{Scale: weibullScale, Shape: 0.7}}
+		runs := 2000
+		if n >= 10000 {
+			runs = 200
+		}
+		t.AddRow(
+			n,
+			expo.MTBF().String(),
+			weib.FirstFailureMean(runs, 7).String(),
+			expo.AllUpAvailability(),
+		)
+	}
+	return t, nil
+}
+
+// E10Checkpoint reproduces claim C6's recovery side: the optimal
+// checkpoint interval — Young and Daly analytic versus the simulated
+// optimum — and the useful-work fraction, as system scale shrinks MTBF.
+// The job is one week of work with 5-minute checkpoints and 10-minute
+// restarts on nodes with 1000-day MTBF.
+func E10Checkpoint(quick bool) (*Table, error) {
+	runs := 200
+	if quick {
+		runs = 40
+	}
+	t := &Table{
+		ID:    "E10",
+		Title: "Checkpoint/restart: analytic vs simulated optimal interval (1-week job, delta=5 min, R=10 min)",
+		Columns: []string{"nodes", "system-mtbf", "young", "daly", "simulated-opt",
+			"useful-frac@opt", "useful-frac@young"},
+		Notes: []string{
+			"expected shape: simulated optimum ~ Young's sqrt(2*delta*M); useful fraction degrades with scale",
+		},
+	}
+	nodeMTBF := 1000 * sim.Day
+	for _, n := range []int{128, 512, 2048, 8192} {
+		mtbf := nodeMTBF / sim.Time(n)
+		c := fault.Checkpoint{
+			Work:     168 * sim.Hour,
+			Overhead: 5 * sim.Minute,
+			Restart:  10 * sim.Minute,
+			MTBF:     mtbf,
+			Interval: sim.Hour, // placeholder
+		}
+		young := fault.YoungInterval(c.Overhead, mtbf)
+		daly := fault.DalyInterval(c.Overhead, mtbf)
+		opt, optRes, err := c.OptimalInterval(runs, 13)
+		if err != nil {
+			return nil, err
+		}
+		cy := c
+		cy.Interval = young
+		youngRes, err := cy.Simulate(runs, 13)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			n,
+			mtbf.String(),
+			young.String(),
+			daly.String(),
+			opt.String(),
+			optRes.UsefulFraction,
+			youngRes.UsefulFraction,
+		)
+	}
+	return t, nil
+}

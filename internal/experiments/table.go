@@ -1,0 +1,142 @@
+// Package experiments implements the full evaluation suite E1–E12 from
+// DESIGN.md §3. The source paper is a keynote abstract with no published
+// tables, so each experiment here operationalizes one of the abstract's
+// claims (DESIGN.md §1 maps claims to experiments); EXPERIMENTS.md
+// records the expected shape versus what these functions measure.
+//
+// Every experiment returns a Table that renders as aligned text or CSV,
+// and is callable both from cmd/experiments and from the root-level
+// benchmarks. Experiments taking a `quick` flag shrink their sweeps for
+// CI; the full settings reproduce the committed EXPERIMENTS.md numbers.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry the expected shape and any caveats.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	if len(row) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: %s row has %d cells for %d columns", t.ID, len(row), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e5 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	total := len(t.Columns)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// CSV writes the table as CSV (columns header then rows).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Cell returns the cell at (row, column-name), for tests.
+func (t *Table) Cell(row int, col string) (string, error) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return "", fmt.Errorf("experiments: table %s has no column %q", t.ID, col)
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return "", fmt.Errorf("experiments: table %s has no row %d", t.ID, row)
+	}
+	return t.Rows[row][ci], nil
+}

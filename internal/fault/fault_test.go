@@ -1,0 +1,281 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"northstar/internal/sim"
+	"northstar/internal/stats"
+)
+
+// nodeMTBF1000d is the 2002-era rule of thumb: ~1000 days per node.
+const nodeMTBF1000d = 1000 * sim.Day
+
+func expSystem(n int) System {
+	return System{Nodes: n, Lifetime: stats.Exponential{Rate: 1 / float64(nodeMTBF1000d)}}
+}
+
+func TestSystemMTBFScalesInversely(t *testing.T) {
+	one := expSystem(1).MTBF()
+	if math.Abs(float64(one-nodeMTBF1000d)) > 1 {
+		t.Fatalf("single-node MTBF = %v, want %v", one, nodeMTBF1000d)
+	}
+	for _, n := range []int{10, 1000, 100000} {
+		got := expSystem(n).MTBF()
+		want := nodeMTBF1000d / sim.Time(n)
+		if math.Abs(float64(got-want)) > 1e-6*float64(want) {
+			t.Errorf("MTBF(%d) = %v, want %v", n, got, want)
+		}
+	}
+	// The keynote's point: at 10^5 nodes, MTBF is under an hour.
+	if mtbf := expSystem(100000).MTBF(); mtbf > sim.Hour {
+		t.Errorf("100k-node MTBF = %v, want < 1 h", mtbf)
+	}
+}
+
+func TestFirstFailureMatchesAnalyticForExponential(t *testing.T) {
+	s := expSystem(64)
+	got := s.FirstFailureMean(4000, 1)
+	want := s.MTBF()
+	if math.Abs(float64(got-want)) > 0.05*float64(want) {
+		t.Errorf("first-failure mean %v, analytic %v", got, want)
+	}
+}
+
+func TestWeibullInfantMortalityShortensFirstFailure(t *testing.T) {
+	// Same mean lifetime, shape 0.7: the minimum of N draws is much
+	// smaller than the exponential case.
+	scale := float64(nodeMTBF1000d) / math.Gamma(1+1/0.7)
+	weib := System{Nodes: 64, Lifetime: stats.Weibull{Scale: scale, Shape: 0.7}}
+	expo := expSystem(64)
+	w := weib.FirstFailureMean(4000, 2)
+	e := expo.FirstFailureMean(4000, 2)
+	if float64(w) > 0.8*float64(e) {
+		t.Errorf("weibull(0.7) first failure %v, exponential %v; infant mortality should shorten it", w, e)
+	}
+}
+
+func TestAvailabilityCollapsesWithScale(t *testing.T) {
+	mk := func(n int) System {
+		s := expSystem(n)
+		s.Repair = stats.Constant{V: float64(4 * sim.Hour)}
+		return s
+	}
+	a1 := mk(1).AllUpAvailability()
+	a1000 := mk(1000).AllUpAvailability()
+	a100k := mk(100000).AllUpAvailability()
+	if a1 < 0.999 {
+		t.Errorf("single node availability %g, want ~1", a1)
+	}
+	if !(a1 > a1000 && a1000 > a100k) {
+		t.Errorf("availability not collapsing: %g, %g, %g", a1, a1000, a100k)
+	}
+	if a100k > 0.01 {
+		t.Errorf("100k-node all-up availability %g; should be ~0 (fault recovery mandatory)", a100k)
+	}
+}
+
+func TestNoRepairMeansAvailabilityOne(t *testing.T) {
+	if a := expSystem(10).NodeAvailability(); a != 1 {
+		t.Errorf("availability without repair = %g, want 1", a)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	bad := []System{
+		{Nodes: 0, Lifetime: stats.Exponential{Rate: 1}},
+		{Nodes: 4},
+		{Nodes: 4, Lifetime: stats.Exponential{Rate: 0}},
+		{Nodes: 4, Lifetime: stats.Exponential{Rate: 1}, Repair: stats.Weibull{Scale: 0, Shape: 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+	if err := expSystem(8).Validate(); err != nil {
+		t.Errorf("good system rejected: %v", err)
+	}
+}
+
+func TestYoungAndDalyFormulas(t *testing.T) {
+	delta := 5 * sim.Minute
+	mtbf := 12 * sim.Hour
+	y := YoungInterval(delta, mtbf)
+	want := math.Sqrt(2 * float64(delta) * float64(mtbf))
+	if math.Abs(float64(y)-want) > 1e-9 {
+		t.Errorf("Young = %v, want %g", y, want)
+	}
+	d := DalyInterval(delta, mtbf)
+	// Daly's correction is small and positive before subtracting delta.
+	if d <= 0 || math.Abs(float64(d-y)) > 0.2*float64(y) {
+		t.Errorf("Daly = %v, should be within 20%% of Young %v", d, y)
+	}
+	// Degenerate regime.
+	if DalyInterval(3*mtbf, mtbf) != mtbf {
+		t.Errorf("Daly should clamp to MTBF when delta >= 2M")
+	}
+}
+
+func TestCheckpointNoFailuresIsPureOverhead(t *testing.T) {
+	c := Checkpoint{
+		Work:     10 * sim.Hour,
+		Interval: sim.Hour,
+		Overhead: 6 * sim.Minute,
+		Restart:  10 * sim.Minute,
+		MTBF:     1e9 * sim.Hour, // effectively failure-free
+	}
+	res, err := c.Simulate(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 segments, 9 intermediate checkpoints.
+	want := 10*sim.Hour + 9*6*sim.Minute
+	if math.Abs(float64(res.MeanCompletion-want)) > 1 {
+		t.Errorf("failure-free completion %v, want %v", res.MeanCompletion, want)
+	}
+	if res.MeanFailures != 0 {
+		t.Errorf("failures = %g, want 0", res.MeanFailures)
+	}
+}
+
+func TestCheckpointFailuresExtendRuntime(t *testing.T) {
+	c := Checkpoint{
+		Work:     24 * sim.Hour,
+		Interval: sim.Hour,
+		Overhead: 5 * sim.Minute,
+		Restart:  10 * sim.Minute,
+		MTBF:     6 * sim.Hour,
+	}
+	res, err := c.Simulate(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCompletion <= c.Work {
+		t.Errorf("completion %v not above work %v", res.MeanCompletion, c.Work)
+	}
+	if res.MeanFailures < 3 {
+		t.Errorf("failures = %g, expected ~ completion/MTBF >= 3", res.MeanFailures)
+	}
+	if res.UsefulFraction <= 0 || res.UsefulFraction >= 1 {
+		t.Errorf("useful fraction = %g", res.UsefulFraction)
+	}
+}
+
+func TestCheckpointWithoutCheckpointsLosesEverything(t *testing.T) {
+	// Interval > work: one giant segment. With MTBF comparable to work,
+	// completion takes many attempts.
+	c := Checkpoint{
+		Work:     10 * sim.Hour,
+		Interval: 100 * sim.Hour,
+		Overhead: sim.Minute,
+		Restart:  5 * sim.Minute,
+		MTBF:     5 * sim.Hour,
+	}
+	res, err := c.Simulate(400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsefulFraction > 0.5 {
+		t.Errorf("un-checkpointed useful fraction %g; should collapse", res.UsefulFraction)
+	}
+}
+
+func TestSimulatedOptimumNearYoung(t *testing.T) {
+	// E10's core check: the simulated best interval is within a factor
+	// ~2.5 of Young's sqrt(2 delta M) and beats both extremes.
+	c := Checkpoint{
+		Work:     168 * sim.Hour, // one week
+		Overhead: 5 * sim.Minute,
+		Restart:  10 * sim.Minute,
+		MTBF:     12 * sim.Hour,
+		Interval: sim.Hour, // placeholder; OptimalInterval sweeps
+	}
+	best, bestRes, err := c.OptimalInterval(120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young := YoungInterval(c.Overhead, c.MTBF)
+	ratio := float64(best) / float64(young)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("simulated optimum %v vs Young %v (ratio %.2f)", best, young, ratio)
+	}
+	// The optimum must beat too-frequent and too-rare checkpointing.
+	for _, ivl := range []sim.Time{c.Overhead * 2, c.Work / 2} {
+		trial := c
+		trial.Interval = ivl
+		res, err := trial.Simulate(120, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanCompletion < bestRes.MeanCompletion {
+			t.Errorf("interval %v (completion %v) beat the searched optimum %v (%v)",
+				ivl, res.MeanCompletion, best, bestRes.MeanCompletion)
+		}
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	bad := []Checkpoint{
+		{Work: 0, Interval: 1, MTBF: 1},
+		{Work: 1, Interval: 0, MTBF: 1},
+		{Work: 1, Interval: 1, MTBF: 0},
+		{Work: 1, Interval: 1, MTBF: 1, Overhead: -1},
+	}
+	for i, c := range bad {
+		if _, err := c.Simulate(1, 1); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	good := Checkpoint{Work: 1, Interval: 1, MTBF: 1}
+	if _, err := good.Simulate(0, 1); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+// Property: useful fraction is always in (0, 1], and improves (or stays
+// equal) when MTBF improves, all else fixed.
+func TestCheckpointMonotonicityProperty(t *testing.T) {
+	prop := func(seed int64, rawM uint8) bool {
+		mtbf := sim.Time(rawM%20+2) * sim.Hour
+		c := Checkpoint{
+			Work:     48 * sim.Hour,
+			Interval: 2 * sim.Hour,
+			Overhead: 4 * sim.Minute,
+			Restart:  8 * sim.Minute,
+			MTBF:     mtbf,
+		}
+		res, err := c.Simulate(60, seed)
+		if err != nil || res.UsefulFraction <= 0 || res.UsefulFraction > 1 {
+			return false
+		}
+		better := c
+		better.MTBF = mtbf * 8
+		res2, err := better.Simulate(60, seed)
+		if err != nil {
+			return false
+		}
+		// Allow tiny Monte Carlo noise.
+		return res2.UsefulFraction >= res.UsefulFraction*0.97
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCheckpointSimulate(b *testing.B) {
+	c := Checkpoint{
+		Work:     168 * sim.Hour,
+		Interval: sim.Hour,
+		Overhead: 5 * sim.Minute,
+		Restart:  10 * sim.Minute,
+		MTBF:     12 * sim.Hour,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Simulate(10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

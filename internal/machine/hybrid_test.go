@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"northstar/internal/network"
+)
+
+func TestRanksPerNodeDefaultsToOne(t *testing.T) {
+	m, err := New(Config{Nodes: 4, Node: model(), Fabric: network.GigabitEthernet(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RanksPerNode() != 1 || m.Ranks() != 4 {
+		t.Fatalf("rpn=%d ranks=%d", m.RanksPerNode(), m.Ranks())
+	}
+	if m.RankModel() != m.NodeModel() {
+		t.Fatal("rank model should equal node model at rpn=1")
+	}
+}
+
+func TestHybridMachine(t *testing.T) {
+	m, err := New(Config{
+		Nodes: 4, Node: model(), Fabric: network.InfiniBand4X(),
+		RanksPerNode: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ranks() != 16 {
+		t.Fatalf("ranks = %d, want 16", m.Ranks())
+	}
+	if m.Fabric().NumEndpoints() != 16 {
+		t.Fatalf("fabric endpoints = %d, want 16", m.Fabric().NumEndpoints())
+	}
+	if !strings.Contains(m.Fabric().Name(), "shared-memory") {
+		t.Fatalf("fabric = %s, want hierarchical with shared memory", m.Fabric().Name())
+	}
+	// The rank model is a quarter of the node.
+	nm, rm := m.NodeModel(), m.RankModel()
+	if rm.PeakFlops != nm.PeakFlops/4 || rm.MemBandwidth != nm.MemBandwidth/4 {
+		t.Fatalf("rank model not a quarter slice: %+v vs %+v", rm, nm)
+	}
+	// Peak flops counts nodes, not ranks.
+	if m.PeakFlops() != 4*nm.PeakFlops {
+		t.Fatalf("machine peak = %g", m.PeakFlops())
+	}
+	// Message between co-located ranks vs cross-node ranks.
+	var intraT, interT float64
+	m.Fabric().Send(0, 1, 1024, nil, func() { intraT = float64(m.Kernel().Now()) })
+	m.Run()
+	m2, _ := New(Config{Nodes: 4, Node: model(), Fabric: network.InfiniBand4X(), RanksPerNode: 4, Seed: 1})
+	m2.Fabric().Send(0, 5, 1024, nil, func() { interT = float64(m2.Kernel().Now()) })
+	m2.Run()
+	if intraT >= interT {
+		t.Fatalf("intra %v not faster than inter %v", intraT, interT)
+	}
+}
+
+func TestNegativeRanksPerNodeRejected(t *testing.T) {
+	if _, err := New(Config{Nodes: 2, Node: model(), Fabric: network.GigabitEthernet(), RanksPerNode: -2}); err == nil {
+		t.Fatal("negative ranks per node accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package msg
+
+import (
+	"testing"
+
+	"northstar/internal/machine"
+	"northstar/internal/network"
+	"northstar/internal/node"
+	"northstar/internal/sim"
+	"northstar/internal/tech"
+)
+
+func TestGatherCompletes(t *testing.T) {
+	for name, p := range collectiveMachines(t) {
+		for _, root := range []int{0, p - 1} {
+			m := gigE(t, p)
+			c := NewComm(m, Options{})
+			_, err := c.Start(func(r *Rank) { r.Gather(root, 1024) })
+			if err != nil {
+				t.Fatalf("%s root=%d: %v", name, root, err)
+			}
+		}
+	}
+}
+
+func TestGatherVolumeReachesRoot(t *testing.T) {
+	// Total payload arriving at the root must cover (P-1) x bytes across
+	// the tree (each rank's kilobyte forwarded some number of hops).
+	const p = 8
+	const bytes = 1024
+	m := gigE(t, p)
+	c := NewComm(m, Options{})
+	if _, err := c.Start(func(r *Rank) { r.Gather(0, bytes) }); err != nil {
+		t.Fatal(err)
+	}
+	var sent int64
+	for i := 0; i < p; i++ {
+		sent += c.Rank(i).Stats.BytesSent
+	}
+	// Binomial gather total wire volume for pow2 P: sum over levels of
+	// P/2 x level-size = (P-1) x bytes... at least (P-1) x bytes.
+	if sent < (p-1)*bytes {
+		t.Fatalf("gather moved %d bytes, want >= %d", sent, (p-1)*bytes)
+	}
+}
+
+func TestScatterCompletes(t *testing.T) {
+	for name, p := range collectiveMachines(t) {
+		for _, root := range []int{0, p / 2} {
+			m := gigE(t, p)
+			_, err := Run(m, Options{}, func(r *Rank) { r.Scatter(root, 2048) })
+			if err != nil {
+				t.Fatalf("%s root=%d: %v", name, root, err)
+			}
+		}
+	}
+}
+
+func TestScatterCheaperThanBcastForLargeData(t *testing.T) {
+	// Scatter ships each rank only its share; broadcast ships everyone
+	// everything. For P x bytes total payload, scatter must be faster.
+	const p = 16
+	const share = 1 << 20
+	mS := gigE(t, p)
+	tScatter, err := Run(mS, Options{}, func(r *Rank) { r.Scatter(0, share) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB := gigE(t, p)
+	tBcast, err := Run(mB, Options{}, func(r *Rank) { r.Bcast(0, share*p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tScatter >= tBcast {
+		t.Errorf("scatter %v not faster than equivalent bcast %v", tScatter, tBcast)
+	}
+}
+
+func TestReduceScatterCompletes(t *testing.T) {
+	for name, p := range collectiveMachines(t) {
+		m := gigE(t, p)
+		_, err := Run(m, Options{}, func(r *Rank) { r.ReduceScatter(4096) })
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestReduceScatterHalfOfRingAllreduce(t *testing.T) {
+	// A ring allreduce is reduce-scatter + allgather; its time should be
+	// roughly twice the reduce-scatter alone (same chunk size).
+	const p = 8
+	const chunk = 64 << 10
+	mRS := gigE(t, p)
+	tRS, err := Run(mRS, Options{}, func(r *Rank) { r.ReduceScatter(chunk) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAR := gigE(t, p)
+	tAR, err := Run(mAR, Options{Allreduce: Ring}, func(r *Rank) { r.Allreduce(chunk * p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tAR) / float64(tRS)
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("ring allreduce/reduce-scatter ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestScanCompletes(t *testing.T) {
+	for name, p := range collectiveMachines(t) {
+		m := gigE(t, p)
+		_, err := Run(m, Options{}, func(r *Rank) { r.Scan(512) })
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestScanLogarithmic(t *testing.T) {
+	timeFor := func(p int) sim.Time {
+		m := testMachine(t, p, network.QsNet())
+		end, err := Run(m, Options{}, func(r *Rank) { r.Scan(8) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	t4, t64 := timeFor(4), timeFor(64)
+	if ratio := float64(t64) / float64(t4); ratio > 5 {
+		t.Errorf("scan 64/4 rank ratio = %.1f, want logarithmic", ratio)
+	}
+}
+
+func TestNewCollectivesInterleaveSafely(t *testing.T) {
+	m := gigE(t, 8)
+	_, err := Run(m, Options{}, func(r *Rank) {
+		r.Scatter(0, 1024)
+		r.Scan(256)
+		r.ReduceScatter(512)
+		r.Gather(3, 128)
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hybridMachine(t testing.TB, nodes, rpn int) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		Nodes:        nodes,
+		Node:         node.MustBuild(node.SMPOnChip, tech.Default2002(), 2006),
+		Fabric:       network.GigabitEthernet(),
+		RanksPerNode: rpn,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSMPAwareAllreduceCompletes(t *testing.T) {
+	for _, cfg := range []struct{ nodes, rpn int }{
+		{4, 4}, {7, 4}, {8, 2}, {3, 3}, {1, 4}, {5, 1},
+	} {
+		m := hybridMachine(t, cfg.nodes, cfg.rpn)
+		_, err := Run(m, Options{Allreduce: SMPAware}, func(r *Rank) {
+			r.Allreduce(4096)
+			r.Allreduce(64) // twice: epochs must not cross-match
+		})
+		if err != nil {
+			t.Fatalf("%d nodes x %d rpn: %v", cfg.nodes, cfg.rpn, err)
+		}
+	}
+}
+
+func TestSMPAwareBeatsFlatOnHybridMachine(t *testing.T) {
+	// 16 nodes x 4 ranks on gigabit: flat recursive doubling crosses the
+	// wire log2(64)=6 times per rank; SMP-aware crosses log2(16)=4 times
+	// per node leader only, with cheap shared-memory hops inside.
+	const bytes = 8 << 10
+	run := func(algo Algo) sim.Time {
+		m := hybridMachine(t, 16, 4)
+		end, err := Run(m, Options{Allreduce: algo}, func(r *Rank) {
+			r.Allreduce(bytes)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	flat := run(RecursiveDoubling)
+	smp := run(SMPAware)
+	if smp >= flat {
+		t.Fatalf("SMP-aware allreduce %v not faster than flat %v on a hybrid machine", smp, flat)
+	}
+}
+
+func TestSMPAwareFallsBackAtOneRankPerNode(t *testing.T) {
+	// With rpn=1 the algorithm must behave exactly like recursive
+	// doubling.
+	mA := gigE(t, 8)
+	a, err := Run(mA, Options{Allreduce: SMPAware}, func(r *Rank) { r.Allreduce(1024) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB := gigE(t, 8)
+	b, err := Run(mB, Options{Allreduce: RecursiveDoubling}, func(r *Rank) { r.Allreduce(1024) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fallback differs: %v vs %v", a, b)
+	}
+}

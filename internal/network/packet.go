@@ -1,0 +1,128 @@
+package network
+
+import (
+	"fmt"
+
+	"northstar/internal/sim"
+	"northstar/internal/topology"
+)
+
+// PacketNet is a packet-level fabric over an explicit topology. Messages
+// are segmented into MTU-sized packets that are forwarded store-and-
+// forward along the deterministic route, with FIFO serialization on every
+// directed link. It therefore models link contention, adaptive-routing
+// spreading (via the topology's ECMP hash), and bisection limits — at
+// O(packets × hops) events per message.
+type PacketNet struct {
+	Counters
+	k       *sim.Kernel
+	p       Preset
+	g       *topology.Graph
+	eps     []int // fabric endpoint -> graph vertex
+	vert2ep map[int]int
+	// linkFree[2*edge+dir] is when that directed link finishes its
+	// current transmission. dir 0 = A->B.
+	linkFree []sim.Time
+	// HopsTraversed counts total packet-hops, for congestion metrics.
+	HopsTraversed int64
+}
+
+// NewPacketNet builds a packet fabric over g using preset p. The fabric's
+// endpoints are g's endpoints in order.
+func NewPacketNet(k *sim.Kernel, p Preset, g *topology.Graph) *PacketNet {
+	f := &PacketNet{
+		k:        k,
+		p:        p,
+		g:        g,
+		eps:      g.Endpoints(),
+		vert2ep:  make(map[int]int, g.NumEndpoints()),
+		linkFree: make([]sim.Time, 2*g.Edges()),
+	}
+	for i, v := range f.eps {
+		f.vert2ep[v] = i
+	}
+	return f
+}
+
+// Name implements Fabric.
+func (f *PacketNet) Name() string { return f.p.Name + "/packet/" + f.g.Name }
+
+// Kernel implements Fabric.
+func (f *PacketNet) Kernel() *sim.Kernel { return f.k }
+
+// NumEndpoints implements Fabric.
+func (f *PacketNet) NumEndpoints() int { return len(f.eps) }
+
+// Graph returns the underlying topology.
+func (f *PacketNet) Graph() *topology.Graph { return f.g }
+
+// Send implements Fabric.
+func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func()) {
+	if src < 0 || src >= len(f.eps) || dst < 0 || dst >= len(f.eps) {
+		panic(fmt.Sprintf("network: endpoint out of range: %d->%d of %d", src, dst, len(f.eps)))
+	}
+	if bytes < 0 {
+		panic("network: negative message size")
+	}
+	if src == dst {
+		panic("network: self-send must be handled above the fabric")
+	}
+	f.count(bytes)
+
+	edges, verts := f.g.Route(f.eps[src], f.eps[dst])
+	// Directed link ids along the route.
+	dlinks := make([]int, len(edges))
+	for i, e := range edges {
+		dir := 0
+		if f.g.Edge(e).A != verts[i] {
+			dir = 1
+		}
+		dlinks[i] = 2*e + dir
+	}
+
+	mtu := int64(f.p.MTU)
+	npkts := bytes / mtu
+	if bytes%mtu != 0 || bytes == 0 {
+		npkts++
+	}
+	// Sender CPU overhead, then packets inject back-to-back.
+	readyAt := f.k.Now() + f.p.Overhead
+
+	var lastInject, lastDeliver sim.Time
+	remaining := bytes
+	for pkt := int64(0); pkt < npkts; pkt++ {
+		size := mtu
+		if remaining < mtu {
+			size = remaining
+		}
+		remaining -= size
+		if size <= 0 {
+			size = 64 // header-only control packet
+		}
+		tx := sim.Time(size) * f.p.ByteTime
+		if tx < f.p.Gap {
+			tx = f.p.Gap
+		}
+		t := readyAt
+		for h, dl := range dlinks {
+			dep := t
+			if f.linkFree[dl] > dep {
+				dep = f.linkFree[dl]
+			}
+			f.linkFree[dl] = dep + tx
+			t = dep + tx + f.p.PerHopDelay
+			f.HopsTraversed++
+			if h == 0 {
+				lastInject = dep + tx
+			}
+		}
+		// Wire latency is charged once (PerHopDelay covers switching).
+		lastDeliver = t + f.p.Latency
+	}
+	if onInjected != nil {
+		f.k.At(lastInject, onInjected)
+	}
+	if onDelivered != nil {
+		f.k.At(lastDeliver+f.p.Overhead, onDelivered)
+	}
+}

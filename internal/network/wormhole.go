@@ -1,0 +1,212 @@
+package network
+
+import (
+	"fmt"
+
+	"northstar/internal/sim"
+	"northstar/internal/topology"
+)
+
+// WormholeNet is the highest-fidelity fabric model: event-driven
+// per-hop packet forwarding with credit-based flow control, as in
+// InfiniBand and the proprietary 2002 fabrics. Each directed link has a
+// finite downstream input buffer (BufferPackets); a packet may start
+// crossing a link only when the link is idle AND a buffer slot is free
+// on the far side. When a destination is oversubscribed, its buffers
+// fill, upstream packets stall holding *their* buffers, and congestion
+// spreads backwards through the switches — the congestion-tree /
+// head-of-line-blocking behavior the era's fabric papers fought, which
+// the reservation-based PacketNet cannot express.
+//
+// Compared to PacketNet, WormholeNet serializes packets in true arrival
+// order at every link and lets unrelated traffic be delayed by a
+// saturated hotspot it merely shares a switch with.
+//
+// Caution: like real wormhole fabrics without virtual channels, cyclic
+// topologies (tori, hypercubes) can deadlock under heavy load — buffer
+// cycles are a physical phenomenon this model reproduces faithfully.
+// Use it on up/down-routed topologies (crossbar, fat tree), as the
+// 2002 fabrics did.
+type WormholeNet struct {
+	Counters
+	k *sim.Kernel
+	p Preset
+	g *topology.Graph
+	// BufferPackets is the input-buffer depth per directed link.
+	bufferPackets int
+	eps           []int
+	links         []*wlink
+	// Stalls counts packet-start attempts deferred for want of a credit
+	// — the congestion metric.
+	Stalls int64
+}
+
+// wlink is one directed link's flow-control state.
+type wlink struct {
+	busy    bool
+	credits int // free slots in the downstream input buffer
+	waiting []*wpacket
+}
+
+// wpacket is one packet in flight.
+type wpacket struct {
+	size    int64
+	dlinks  []int // directed link ids along the route
+	hop     int   // next link index to traverse
+	inbound int   // directed link whose buffer slot we occupy (-1 at source)
+	done    func()
+	// onFirstHop fires when the packet clears the source's injection
+	// link (used for local send completion).
+	onFirstHop func()
+}
+
+// NewWormholeNet builds a wormhole fabric over g with the preset's
+// timing and the given per-link input-buffer depth (packets). A depth
+// of 0 uses the conventional 4.
+func NewWormholeNet(k *sim.Kernel, p Preset, g *topology.Graph, bufferPackets int) *WormholeNet {
+	if bufferPackets <= 0 {
+		bufferPackets = 4
+	}
+	f := &WormholeNet{
+		k: k, p: p, g: g,
+		bufferPackets: bufferPackets,
+		eps:           g.Endpoints(),
+		links:         make([]*wlink, 2*g.Edges()),
+	}
+	for i := range f.links {
+		f.links[i] = &wlink{credits: bufferPackets}
+	}
+	return f
+}
+
+// Name implements Fabric.
+func (f *WormholeNet) Name() string { return f.p.Name + "/wormhole/" + f.g.Name }
+
+// Kernel implements Fabric.
+func (f *WormholeNet) Kernel() *sim.Kernel { return f.k }
+
+// NumEndpoints implements Fabric.
+func (f *WormholeNet) NumEndpoints() int { return len(f.eps) }
+
+// Graph returns the underlying topology.
+func (f *WormholeNet) Graph() *topology.Graph { return f.g }
+
+// Send implements Fabric.
+func (f *WormholeNet) Send(src, dst int, bytes int64, onInjected, onDelivered func()) {
+	if src < 0 || src >= len(f.eps) || dst < 0 || dst >= len(f.eps) {
+		panic(fmt.Sprintf("network: endpoint out of range: %d->%d of %d", src, dst, len(f.eps)))
+	}
+	if bytes < 0 {
+		panic("network: negative message size")
+	}
+	if src == dst {
+		panic("network: self-send must be handled above the fabric")
+	}
+	f.count(bytes)
+
+	edges, verts := f.g.Route(f.eps[src], f.eps[dst])
+	dlinks := make([]int, len(edges))
+	for i, e := range edges {
+		dir := 0
+		if f.g.Edge(e).A != verts[i] {
+			dir = 1
+		}
+		dlinks[i] = 2*e + dir
+	}
+	mtu := int64(f.p.MTU)
+	npkts := bytes / mtu
+	if bytes%mtu != 0 || bytes == 0 {
+		npkts++
+	}
+	remaining := bytes
+	pending := int(npkts)
+	var lastInjected *wpacket
+	f.k.After(f.p.Overhead, func() {
+		for i := int64(0); i < npkts; i++ {
+			size := mtu
+			if remaining < mtu {
+				size = remaining
+			}
+			remaining -= size
+			if size <= 0 {
+				size = 64
+			}
+			pkt := &wpacket{size: size, dlinks: dlinks, inbound: -1}
+			last := i == npkts-1
+			pkt.done = func() {
+				pending--
+				if pending == 0 && onDelivered != nil {
+					f.k.After(f.p.Overhead, onDelivered)
+				}
+			}
+			if last {
+				lastInjected = pkt
+			}
+			f.enqueue(pkt)
+		}
+		// Local completion: when the last packet clears the first link.
+		// Safe to set after enqueue — no simulation event runs until
+		// this handler returns.
+		if onInjected != nil && lastInjected != nil {
+			lastInjected.onFirstHop = onInjected
+		}
+	})
+}
+
+// enqueue places the packet on its next link's wait queue and pokes the
+// link.
+func (f *WormholeNet) enqueue(pkt *wpacket) {
+	dl := pkt.dlinks[pkt.hop]
+	l := f.links[dl]
+	l.waiting = append(l.waiting, pkt)
+	f.tryStart(dl)
+}
+
+// tryStart launches the head packet of link dl if the link is idle and a
+// downstream buffer slot is available.
+func (f *WormholeNet) tryStart(dl int) {
+	l := f.links[dl]
+	if l.busy || len(l.waiting) == 0 {
+		return
+	}
+	if l.credits <= 0 {
+		f.Stalls++
+		return // backpressure: wait for a credit return
+	}
+	pkt := l.waiting[0]
+	l.waiting = l.waiting[1:]
+	l.credits--
+	l.busy = true
+	tx := sim.Time(pkt.size) * f.p.ByteTime
+	if tx < f.p.Gap {
+		tx = f.p.Gap
+	}
+	f.k.After(tx, func() {
+		// The wire is free for the next packet.
+		l.busy = false
+		f.tryStart(dl)
+	})
+	f.k.After(tx+f.p.PerHopDelay, func() {
+		// Packet fully arrived downstream: release the slot it held on
+		// the previous hop's buffer, then continue or deliver.
+		if pkt.onFirstHop != nil {
+			pkt.onFirstHop()
+			pkt.onFirstHop = nil
+		}
+		if pkt.inbound >= 0 {
+			f.links[pkt.inbound].credits++
+			f.tryStart(pkt.inbound)
+		}
+		pkt.inbound = dl
+		pkt.hop++
+		if pkt.hop >= len(pkt.dlinks) {
+			// Arrived at the destination endpoint: free the final buffer
+			// after the wire latency and deliver.
+			f.links[pkt.inbound].credits++
+			f.tryStart(pkt.inbound)
+			f.k.After(f.p.Latency, pkt.done)
+			return
+		}
+		f.enqueue(pkt)
+	})
+}

@@ -1,0 +1,234 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate for every timed model in this repository:
+// network fabrics, node compute models, the message-passing layer, the
+// batch scheduler, and the fault/checkpoint simulator all advance a shared
+// virtual clock by scheduling events on a Kernel.
+//
+// Determinism: events that fire at the same virtual time are executed in
+// the order they were scheduled (a monotonic sequence number breaks ties),
+// and all randomness flows from a caller-supplied seed. Two runs with the
+// same seed produce bit-identical event orderings, which keeps every
+// experiment in this repository reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in seconds. Virtual time is unrelated
+// to wall-clock time: a simulated microsecond costs whatever the host
+// needs to execute the event handlers, no more.
+type Time float64
+
+// Common durations, as Time deltas.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+	Minute      Time = 60
+	Hour        Time = 3600
+	Day         Time = 86400
+	Year        Time = 365.25 * 86400
+)
+
+// Forever is a time later than any event a simulation will schedule.
+const Forever Time = math.MaxFloat64
+
+// Seconds reports t as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String formats the time with an auto-selected unit.
+func (t Time) String() string {
+	switch abs := math.Abs(float64(t)); {
+	case t == Forever:
+		return "forever"
+	case abs == 0:
+		return "0s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.3gns", float64(t)*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3gµs", float64(t)*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.3gms", float64(t)*1e3)
+	case abs < 120:
+		return fmt.Sprintf("%.4gs", float64(t))
+	case abs < 2*3600:
+		return fmt.Sprintf("%.4gmin", float64(t)/60)
+	case abs < 2*86400:
+		return fmt.Sprintf("%.4gh", float64(t)/3600)
+	default:
+		return fmt.Sprintf("%.4gd", float64(t)/86400)
+	}
+}
+
+// Handle identifies a scheduled event and allows cancelling it before it
+// fires. The zero Handle is invalid.
+type Handle struct {
+	ev *event
+}
+
+// Cancel removes the event from the schedule. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.fn == nil {
+		return false
+	}
+	h.ev.fn = nil // lazy deletion; heap entry stays until popped
+	return true
+}
+
+// Pending reports whether the event has not yet fired or been cancelled.
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.fn != nil }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Kernel is a discrete-event simulation engine. A Kernel is not safe for
+// concurrent use; all interaction must happen from the goroutine driving
+// Run (event handlers run on that goroutine, and Proc goroutines run only
+// while the kernel is parked waiting for them — see proc.go).
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	fired   uint64
+	stopped bool
+
+	// proc handoff (see proc.go)
+	yield chan struct{}
+	procs int
+}
+
+// New returns a Kernel with its clock at zero and randomness seeded from
+// seed. The same seed yields an identical simulation.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired reports how many events have executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports how many events are scheduled (including lazily
+// cancelled entries not yet drained).
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: a discrete-event simulation must never travel backwards.
+func (k *Kernel) At(t Time, fn func()) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (k *Kernel) After(d Time, fn func()) Handle { return k.At(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// remain scheduled; Run may be called again to continue.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		k.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain or Stop is called. It returns the
+// final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t (if the simulation had not already passed it) and returns.
+// Events scheduled after t remain pending.
+func (k *Kernel) RunUntil(t Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// peek returns the timestamp of the next live event.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.events) > 0 {
+		if k.events[0].fn == nil {
+			heap.Pop(&k.events)
+			continue
+		}
+		return k.events[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventAt returns the time of the next pending event, if any.
+func (k *Kernel) NextEventAt() (Time, bool) { return k.peek() }

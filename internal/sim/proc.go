@@ -1,0 +1,170 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated sequential process: a goroutine that advances
+// virtual time by blocking on the kernel. Procs make it possible to write
+// simulated programs (for example MPI ranks) in ordinary sequential style
+// — Send, Recv, compute — while the kernel interleaves them
+// deterministically in virtual time.
+//
+// Exactly one goroutine is runnable at any instant: either the kernel's
+// driver or a single Proc holding the control token. A Proc relinquishes
+// the token by calling Wait, Suspend, or by returning; the kernel hands
+// the token to a Proc when a wake event for it fires. This handoff
+// discipline means Procs need no locks for kernel state and the event
+// order stays deterministic.
+//
+// Proc methods must be called only from the Proc's own goroutine, with
+// the exception of Resume and Interrupt which are called from event
+// handlers or other Procs.
+type Proc struct {
+	k      *Kernel
+	id     int
+	resume chan procSignal
+	waking bool // a Resume is already in flight
+	done   bool
+}
+
+type procSignal struct {
+	interrupted bool
+	payload     any
+}
+
+// Go spawns fn as a simulated process, runnable immediately (at the
+// current virtual time, after already-scheduled events at that time).
+// It returns the Proc, which the caller may use to Resume or Interrupt it.
+func (k *Kernel) Go(fn func(p *Proc)) *Proc {
+	k.procs++
+	p := &Proc{k: k, id: k.procs, resume: make(chan procSignal)}
+	k.After(0, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				k.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-k.yield // park the kernel until the proc blocks or finishes
+	})
+	return p
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// ID returns a small integer unique among Procs of this kernel.
+func (p *Proc) ID() int { return p.id }
+
+// Wait advances the process's virtual time by d seconds. Other events and
+// processes run in the meantime. Wait panics on negative d. It reports
+// whether the wait completed without interruption (an Interrupt delivered
+// while waiting cancels the remaining delay).
+func (p *Proc) Wait(d Time) bool {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative wait %v", d))
+	}
+	h := p.k.After(d, func() { p.deliver(procSignal{}) })
+	sig := p.block()
+	if sig.interrupted {
+		h.Cancel()
+		return false
+	}
+	return true
+}
+
+// Suspend blocks the process until another party calls Resume or
+// Interrupt. It returns the payload passed to Resume (nil for Interrupt)
+// and whether the wake was a normal Resume.
+func (p *Proc) Suspend() (payload any, resumed bool) {
+	sig := p.block()
+	return sig.payload, !sig.interrupted
+}
+
+// Resume wakes a process blocked in Suspend, handing it payload. The wake
+// is scheduled as an event at the current virtual time, preserving
+// deterministic ordering. Resuming a process that is not suspended (or
+// that already has a wake in flight) panics: it indicates a protocol bug
+// in the caller, and silently dropping or queueing wakes would corrupt
+// virtual-time bookkeeping.
+func (p *Proc) Resume(payload any) {
+	if p.done {
+		panic("sim: Resume of finished proc")
+	}
+	if p.waking {
+		panic("sim: Resume of proc with wake already in flight")
+	}
+	p.waking = true
+	p.k.After(0, func() { p.deliver(procSignal{payload: payload}) })
+}
+
+// Interrupt wakes a process blocked in Wait or Suspend with an
+// interruption signal (Wait returns false; Suspend returns resumed=false).
+// Interrupting a finished process is a no-op.
+func (p *Proc) Interrupt() {
+	if p.done || p.waking {
+		return
+	}
+	p.waking = true
+	p.k.After(0, func() {
+		if p.done {
+			return
+		}
+		p.deliver(procSignal{interrupted: true})
+	})
+}
+
+// deliver hands the control token to the proc and parks the kernel until
+// the proc blocks again or finishes.
+func (p *Proc) deliver(sig procSignal) {
+	p.waking = false
+	p.resume <- sig
+	<-p.k.yield
+}
+
+// block parks the proc's goroutine, returning the control token to the
+// kernel, until a wake signal arrives.
+func (p *Proc) block() procSignal {
+	p.k.yield <- struct{}{}
+	return <-p.resume
+}
+
+// WaitGroup counts outstanding simulated activities and wakes a waiting
+// Proc when the count reaches zero. Unlike sync.WaitGroup it is not
+// thread-safe; it relies on the kernel's single-runnable discipline.
+type WaitGroup struct {
+	n      int
+	waiter *Proc
+}
+
+// Add increments the outstanding count by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 && w.waiter != nil {
+		p := w.waiter
+		w.waiter = nil
+		p.Resume(nil)
+	}
+}
+
+// Done decrements the outstanding count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait suspends p until the count reaches zero. Only one Proc may wait at
+// a time.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("sim: WaitGroup already has a waiter")
+	}
+	w.waiter = p
+	p.Suspend()
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcWaitAdvancesTime(t *testing.T) {
+	k := New(1)
+	var marks []Time
+	k.Go(func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Wait(5)
+		marks = append(marks, p.Now())
+		p.Wait(3)
+		marks = append(marks, p.Now())
+	})
+	k.Run()
+	want := []Time{0, 5, 8}
+	if len(marks) != len(want) {
+		t.Fatalf("marks = %v, want %v", marks, want)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		k := New(1)
+		var order []int
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Go(func(p *Proc) {
+				for step := 0; step < 3; step++ {
+					p.Wait(Time(i+1) * 0.5)
+					order = append(order, i)
+				}
+			})
+		}
+		k.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("got %d steps, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleave: %v vs %v", a, b)
+		}
+	}
+	// Proc 0 waits 0.5s per step, so it must log the first step.
+	if a[0] != 0 {
+		t.Fatalf("first step by proc %d, want 0", a[0])
+	}
+}
+
+func TestProcSuspendResumePayload(t *testing.T) {
+	k := New(1)
+	var got any
+	var waiter *Proc
+	waiter = k.Go(func(p *Proc) {
+		payload, resumed := p.Suspend()
+		if !resumed {
+			t.Error("suspend reported interrupted")
+		}
+		got = payload
+	})
+	k.Go(func(p *Proc) {
+		p.Wait(2)
+		waiter.Resume("hello")
+	})
+	k.Run()
+	if got != "hello" {
+		t.Fatalf("payload = %v, want hello", got)
+	}
+}
+
+func TestProcInterruptCancelsWait(t *testing.T) {
+	k := New(1)
+	var completed bool
+	var at Time
+	var sleeper *Proc
+	sleeper = k.Go(func(p *Proc) {
+		completed = p.Wait(100)
+		at = p.Now()
+	})
+	k.Go(func(p *Proc) {
+		p.Wait(1)
+		sleeper.Interrupt()
+	})
+	k.Run()
+	if completed {
+		t.Fatal("interrupted wait reported completion")
+	}
+	if at != 1 {
+		t.Fatalf("woke at %v, want 1", at)
+	}
+}
+
+func TestProcInterruptFinishedIsNoop(t *testing.T) {
+	k := New(1)
+	p := k.Go(func(p *Proc) {})
+	k.Run()
+	p.Interrupt() // must not panic or deadlock
+	k.Run()
+}
+
+func TestProcDoubleResumePanics(t *testing.T) {
+	k := New(1)
+	var target *Proc
+	target = k.Go(func(p *Proc) { p.Suspend() })
+	k.Go(func(p *Proc) {
+		p.Wait(1)
+		target.Resume(nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("second Resume did not panic")
+			}
+		}()
+		target.Resume(nil)
+	})
+	k.Run()
+}
+
+func TestProcSpawnsProc(t *testing.T) {
+	k := New(1)
+	var childTime Time
+	k.Go(func(p *Proc) {
+		p.Wait(4)
+		p.Kernel().Go(func(c *Proc) {
+			c.Wait(1)
+			childTime = c.Now()
+		})
+	})
+	k.Run()
+	if childTime != 5 {
+		t.Fatalf("child finished at %v, want 5", childTime)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := New(1)
+	var wg WaitGroup
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		k.Go(func(p *Proc) {
+			p.Wait(Time(i) * 10)
+			wg.Done()
+		})
+	}
+	k.Go(func(p *Proc) {
+		p.Wait(1) // let workers start
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Run()
+	if doneAt != 30 {
+		t.Fatalf("waitgroup released at %v, want 30", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	k := New(1)
+	var wg WaitGroup
+	ran := false
+	k.Go(func(p *Proc) {
+		wg.Wait(p) // returns immediately
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		t.Fatal("Wait on zero WaitGroup blocked")
+	}
+}
+
+func TestManyProcs(t *testing.T) {
+	k := New(1)
+	const n = 1000
+	finished := 0
+	for i := 0; i < n; i++ {
+		i := i
+		k.Go(func(p *Proc) {
+			p.Wait(Time(i) * Microsecond)
+			finished++
+		})
+	}
+	k.Run()
+	if finished != n {
+		t.Fatalf("finished %d of %d procs", finished, n)
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := New(1)
+	k.Go(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	k.Run()
+}

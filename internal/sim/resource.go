@@ -1,0 +1,125 @@
+package sim
+
+// Resource models a counted resource (CPU slots, link channels, license
+// tokens) with FCFS admission. Requests are granted in arrival order;
+// a request for n units blocks all later requests until it can be
+// satisfied (no overtaking), which models a non-work-conserving FIFO
+// server and keeps admission order deterministic.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	waiters  []*request
+}
+
+type request struct {
+	n  int
+	fn func(release func())
+}
+
+// NewResource returns a Resource with the given capacity on kernel k.
+func NewResource(k *Kernel, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of requests waiting for units.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// Acquire requests n units. When granted (possibly immediately, as an
+// event at the current time), fn runs with a release function that must
+// be called exactly once to return the units. Requesting more than the
+// capacity panics, since the request could never be granted.
+func (r *Resource) Acquire(n int, fn func(release func())) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: invalid resource request")
+	}
+	r.waiters = append(r.waiters, &request{n: n, fn: fn})
+	r.dispatch()
+}
+
+// AcquireProc blocks proc p until n units are granted, returning the
+// release function.
+func (r *Resource) AcquireProc(p *Proc, n int) (release func()) {
+	r.Acquire(n, func(rel func()) { p.Resume(rel) })
+	payload, _ := p.Suspend()
+	return payload.(func())
+}
+
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if r.inUse+head.n > r.capacity {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += head.n
+		n := head.n
+		released := false
+		release := func() {
+			if released {
+				panic("sim: double release")
+			}
+			released = true
+			r.inUse -= n
+			r.dispatch()
+		}
+		fn := head.fn
+		// Grant as an event so the caller of Acquire never runs user
+		// code synchronously inside dispatch (avoids reentrancy).
+		r.k.After(0, func() { fn(release) })
+	}
+}
+
+// Queue is an unbounded FIFO channel in virtual time: producers Put items
+// and consumers receive them, with handoff scheduled as kernel events so
+// ordering stays deterministic.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	readers []func(T)
+}
+
+// NewQueue returns an empty queue on kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v. If a consumer is waiting, delivery is scheduled now.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.match()
+}
+
+// Get registers fn to receive the next item (possibly immediately, as an
+// event at the current time). Multiple pending Gets are served FIFO.
+func (q *Queue[T]) Get(fn func(T)) {
+	q.readers = append(q.readers, fn)
+	q.match()
+}
+
+// GetProc blocks proc p until an item is available and returns it.
+func (q *Queue[T]) GetProc(p *Proc) T {
+	q.Get(func(v T) { p.Resume(v) })
+	payload, _ := p.Suspend()
+	return payload.(T)
+}
+
+func (q *Queue[T]) match() {
+	for len(q.items) > 0 && len(q.readers) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		fn := q.readers[0]
+		q.readers = q.readers[1:]
+		q.k.After(0, func() { fn(v) })
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a continuous probability distribution that can be sampled from
+// an explicit random source. All stochastic models in the repository
+// (job interarrivals, runtimes, node lifetimes, repair times) draw from a
+// Dist so that every experiment is reproducible from its seed.
+type Dist interface {
+	// Sample draws one value.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution mean (may be +Inf).
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// LogUniform is uniform in log space on [Lo, Hi): each decade is equally
+// likely. It is the classic model for parallel-job runtimes, which span
+// seconds to days.
+type LogUniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u LogUniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo * math.Exp(rng.Float64()*math.Log(u.Hi/u.Lo))
+}
+
+// Mean implements Dist.
+func (u LogUniform) Mean() float64 {
+	r := math.Log(u.Hi / u.Lo)
+	return (u.Hi - u.Lo) / r
+}
+
+// Exponential is the exponential distribution with the given Rate
+// (events per unit time); its mean is 1/Rate. It is the memoryless
+// baseline model for failures and arrivals.
+type Exponential struct{ Rate float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() / e.Rate }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Weibull has scale λ (Scale) and shape k (Shape). Shape < 1 gives the
+// decreasing hazard rate ("infant mortality") observed in real cluster
+// failure logs; Shape = 1 reduces to Exponential.
+type Weibull struct{ Scale, Shape float64 }
+
+// Sample implements Dist (inverse-CDF method).
+func (w Weibull) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return w.Scale * math.Pow(-math.Log(u), 1/w.Shape)
+}
+
+// Mean implements Dist: λ·Γ(1 + 1/k).
+func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
+
+// LogNormal is the distribution of exp(N(Mu, Sigma²)).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Pareto is the Pareto distribution with minimum Xm and tail index Alpha.
+// Alpha <= 1 has infinite mean; heavy tails model the largest jobs that
+// dominate supercomputer workloads.
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Dist (inverse-CDF method).
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Dist.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Validate sanity-checks a distribution's parameters, returning a
+// descriptive error for invalid configurations. It recognizes the types
+// defined in this package.
+func Validate(d Dist) error {
+	switch v := d.(type) {
+	case Constant:
+		if v.V < 0 {
+			return fmt.Errorf("stats: negative constant %g", v.V)
+		}
+	case Uniform:
+		if v.Hi <= v.Lo {
+			return fmt.Errorf("stats: uniform hi %g <= lo %g", v.Hi, v.Lo)
+		}
+	case LogUniform:
+		if v.Lo <= 0 || v.Hi <= v.Lo {
+			return fmt.Errorf("stats: log-uniform requires 0 < lo < hi, got [%g, %g)", v.Lo, v.Hi)
+		}
+	case Exponential:
+		if v.Rate <= 0 {
+			return fmt.Errorf("stats: exponential rate %g <= 0", v.Rate)
+		}
+	case Weibull:
+		if v.Scale <= 0 || v.Shape <= 0 {
+			return fmt.Errorf("stats: weibull scale %g, shape %g must be positive", v.Scale, v.Shape)
+		}
+	case LogNormal:
+		if v.Sigma < 0 {
+			return fmt.Errorf("stats: log-normal sigma %g < 0", v.Sigma)
+		}
+	case Pareto:
+		if v.Xm <= 0 || v.Alpha <= 0 {
+			return fmt.Errorf("stats: pareto xm %g, alpha %g must be positive", v.Xm, v.Alpha)
+		}
+	}
+	return nil
+}

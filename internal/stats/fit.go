@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is the result of a least-squares line fit y = Intercept + Slope·x,
+// with the coefficient of determination R2.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares. It panics if the
+// inputs have different lengths or fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched fit inputs")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		panic("stats: fit needs at least two points")
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Slope: math.NaN(), Intercept: my, R2: math.NaN()}
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := syy - b*sxy
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Slope: b, Intercept: a, R2: r2}
+}
+
+// Eval evaluates the fitted line at x.
+func (f Fit) Eval(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// GrowthFit is an exponential growth fit y = A·g^x obtained by linear
+// regression on ln y. Growth-curve analysis (Moore's-law style) lives
+// here: g is the annual growth factor when x is in years.
+type GrowthFit struct {
+	A      float64 // value at x = 0
+	Growth float64 // multiplicative factor per unit x
+	R2     float64
+}
+
+// ExpFit fits y = A·g^x. All ys must be positive.
+func ExpFit(xs, ys []float64) GrowthFit {
+	lys := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			panic("stats: ExpFit requires positive values")
+		}
+		lys[i] = math.Log(y)
+	}
+	f := LinearFit(xs, lys)
+	return GrowthFit{A: math.Exp(f.Intercept), Growth: math.Exp(f.Slope), R2: f.R2}
+}
+
+// Eval evaluates the growth curve at x.
+func (g GrowthFit) Eval(x float64) float64 { return g.A * math.Pow(g.Growth, x) }
+
+// DoublingTime returns the x-interval over which y doubles, or +Inf for
+// non-growing fits.
+func (g GrowthFit) DoublingTime() float64 {
+	if g.Growth <= 1 {
+		return math.Inf(1)
+	}
+	return math.Ln2 / math.Log(g.Growth)
+}
+
+// String formats the growth fit.
+func (g GrowthFit) String() string {
+	return fmt.Sprintf("A=%.4g growth=%.4gx/unit (doubling every %.3g) R2=%.4f", g.A, g.Growth, g.DoublingTime(), g.R2)
+}
+
+// CAGR returns the compound annual growth rate implied by moving from
+// v0 to v1 over years (e.g. 0.59 for +59%/year). It panics on
+// non-positive values or years.
+func CAGR(v0, v1, years float64) float64 {
+	if v0 <= 0 || v1 <= 0 || years <= 0 {
+		panic("stats: CAGR requires positive inputs")
+	}
+	return math.Pow(v1/v0, 1/years) - 1
+}
+
+// Project compounds value v by rate (fraction per year) over years.
+func Project(v, rate, years float64) float64 {
+	return v * math.Pow(1+rate, years)
+}

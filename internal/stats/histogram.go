@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed buckets. Buckets may be linear
+// (equal width) or logarithmic (equal ratio); values outside the range
+// land in underflow/overflow counters so no observation is lost.
+type Histogram struct {
+	lo, hi   float64
+	log      bool
+	counts   []int
+	under    int
+	over     int
+	total    int
+	logLo    float64
+	logWidth float64
+	linWidth float64
+}
+
+// NewHistogram returns a linear histogram with n equal-width buckets over
+// [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram range")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, n), linWidth: (hi - lo) / float64(n)}
+}
+
+// NewLogHistogram returns a histogram with n buckets of equal ratio over
+// [lo, hi). lo must be positive.
+func NewLogHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || lo <= 0 || hi <= lo {
+		panic("stats: invalid log histogram range")
+	}
+	h := &Histogram{lo: lo, hi: hi, log: true, counts: make([]int, n)}
+	h.logLo = math.Log(lo)
+	h.logWidth = (math.Log(hi) - h.logLo) / float64(n)
+	return h
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		var i int
+		if h.log {
+			i = int((math.Log(x) - h.logLo) / h.logWidth)
+		} else {
+			i = int((x - h.lo) / h.linWidth)
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Count returns the total number of observations including out-of-range.
+func (h *Histogram) Count() int { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int { return h.counts[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the count of observations >= the histogram's upper bound.
+func (h *Histogram) Overflow() int { return h.over }
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	if h.log {
+		lo = math.Exp(h.logLo + float64(i)*h.logWidth)
+		hi = math.Exp(h.logLo + float64(i+1)*h.logWidth)
+		return lo, hi
+	}
+	return h.lo + float64(i)*h.linWidth, h.lo + float64(i+1)*h.linWidth
+}
+
+// String renders an ASCII bar chart, one line per bucket.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.counts {
+		lo, hi := h.BucketBounds(i)
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "[%10.3g, %10.3g) %6d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}

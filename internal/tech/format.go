@@ -1,0 +1,47 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Engineering formats v with a metric prefix and the given unit suffix,
+// e.g. Engineering(4.8e9, "flop/s") = "4.8 Gflop/s".
+func Engineering(v float64, unit string) string {
+	if v == 0 {
+		return fmt.Sprintf("0 %s", unit)
+	}
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	prefixes := []struct {
+		scale float64
+		name  string
+	}{
+		{1e18, "E"}, {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"},
+	}
+	for _, p := range prefixes {
+		if v >= p.scale {
+			return fmt.Sprintf("%s%.3g %s%s", neg, v/p.scale, p.name, unit)
+		}
+	}
+	return fmt.Sprintf("%s%.3g %s", neg, v, unit)
+}
+
+// Dollars formats a dollar amount with thousands grouping at coarse
+// granularity, e.g. "$1.2M", "$350k".
+func Dollars(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("$%.3gB", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("$%.3gM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("$%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("$%.3g", v)
+	}
+}

@@ -1,0 +1,285 @@
+package tech
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveAtBaseYear(t *testing.T) {
+	c := Curve{Key: PeakFlopsPerSocket, BaseYear: 2002, Base: 4.8e9, CAGR: 0.41}
+	if got := c.At(2002); got != 4.8e9 {
+		t.Fatalf("At(base year) = %g, want base", got)
+	}
+}
+
+func TestCurveGrowth(t *testing.T) {
+	c := Curve{Key: "x", BaseYear: 2000, Base: 100, CAGR: 1.0} // doubles yearly
+	if got := c.At(2003); math.Abs(got-800) > 1e-9 {
+		t.Fatalf("At(2003) = %g, want 800", got)
+	}
+	if got := c.At(1999); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("At(1999) = %g, want 50 (backwards projection)", got)
+	}
+	if d := c.DoublingYears(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("DoublingYears = %g, want 1", d)
+	}
+}
+
+func TestCurveDecline(t *testing.T) {
+	c := Curve{Key: LinkLatency, BaseYear: 2002, Base: 50e-6, CAGR: -0.5}
+	if got := c.At(2004); math.Abs(got-12.5e-6) > 1e-12 {
+		t.Fatalf("declining curve At(2004) = %g, want 12.5e-6", got)
+	}
+	if !math.IsInf(c.DoublingYears(), 1) {
+		t.Fatal("declining curve should have infinite doubling time")
+	}
+}
+
+func TestYearReaching(t *testing.T) {
+	c := Curve{Key: "x", BaseYear: 2002, Base: 1, CAGR: 1.0}
+	y, err := c.YearReaching(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-2012) > 1e-9 {
+		t.Fatalf("YearReaching(1024) = %g, want 2012", y)
+	}
+	// Already past: answer lies before the base year.
+	y, err = c.YearReaching(0.5)
+	if err != nil || y >= 2002 {
+		t.Fatalf("YearReaching(0.5) = %g, %v; want < 2002, nil", y, err)
+	}
+	flat := Curve{Key: "y", BaseYear: 2002, Base: 1, CAGR: 0}
+	if _, err := flat.YearReaching(2); err == nil {
+		t.Fatal("flat curve reaching a different target should error")
+	}
+}
+
+// Property: YearReaching inverts At for growing curves.
+func TestYearReachingInvertsAt(t *testing.T) {
+	prop := func(rawBase, rawCAGR, rawYears uint16) bool {
+		base := 1 + float64(rawBase)
+		cagr := 0.01 + float64(rawCAGR%300)/100 // 0.01 .. 3.0
+		years := float64(rawYears%40) + 0.5
+		c := Curve{Key: "p", BaseYear: 2002, Base: base, CAGR: cagr}
+		target := c.At(2002 + years)
+		y, err := c.YearReaching(target)
+		return err == nil && math.Abs(y-(2002+years)) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveValidate(t *testing.T) {
+	bad := []Curve{
+		{Key: "", Base: 1, BaseYear: 2002},
+		{Key: "x", Base: 0, BaseYear: 2002},
+		{Key: "x", Base: 1, CAGR: -1.5, BaseYear: 2002},
+		{Key: "x", Base: 1, BaseYear: 1600},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, c)
+		}
+	}
+	good := Curve{Key: "x", Base: 1, BaseYear: 2002, CAGR: -0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+}
+
+func TestDefault2002Sanity(t *testing.T) {
+	r := Default2002()
+	// Every documented key present, positive at 2002 and at 2010.
+	keys := []Key{PeakFlopsPerSocket, FlopsPerDollar, DRAMBytesPerDollar,
+		MemBandwidthPerSocket, WattsPerSocket, DiskBytesPerDollar,
+		LinkBandwidth, LinkLatency, CoresPerSocket}
+	for _, k := range keys {
+		if v := r.At(k, 2002); v <= 0 {
+			t.Errorf("%s at 2002 = %g", k, v)
+		}
+		if v := r.At(k, 2010); v <= 0 {
+			t.Errorf("%s at 2010 = %g", k, v)
+		}
+	}
+	// The memory wall: flops grow faster than memory bandwidth.
+	fc, _ := r.Curve(PeakFlopsPerSocket)
+	mc, _ := r.Curve(MemBandwidthPerSocket)
+	if fc.CAGR <= mc.CAGR {
+		t.Errorf("memory wall inverted: flops CAGR %g <= mem-bw CAGR %g", fc.CAGR, mc.CAGR)
+	}
+	// Latency declines.
+	lc, _ := r.Curve(LinkLatency)
+	if lc.CAGR >= 0 {
+		t.Errorf("link latency should decline, CAGR = %g", lc.CAGR)
+	}
+	// Moore's-law band: flops/$ doubles every 1.3–2.2 years.
+	fd, _ := r.Curve(FlopsPerDollar)
+	if d := fd.DoublingYears(); d < 1.3 || d > 2.2 {
+		t.Errorf("flops/$ doubling %g years, outside Moore band", d)
+	}
+}
+
+func TestRoadmapUnknownKeyPanics(t *testing.T) {
+	r := Default2002()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown key did not panic")
+		}
+	}()
+	r.At("no-such-key", 2002)
+}
+
+func TestRoadmapCloneIsIndependent(t *testing.T) {
+	r := Default2002()
+	c := r.Clone()
+	c.ScaleCAGR(PeakFlopsPerSocket, 0)
+	orig, _ := r.Curve(PeakFlopsPerSocket)
+	mod, _ := c.Curve(PeakFlopsPerSocket)
+	if orig.CAGR == mod.CAGR {
+		t.Fatal("ScaleCAGR on clone affected original (or did nothing)")
+	}
+	if mod.CAGR != 0 {
+		t.Fatalf("frozen CAGR = %g, want 0", mod.CAGR)
+	}
+}
+
+func TestRoadmapJSONRoundTrip(t *testing.T) {
+	r := Default2002()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Roadmap
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != r.Name {
+		t.Fatalf("name %q, want %q", back.Name, r.Name)
+	}
+	for _, k := range r.Keys() {
+		a, _ := r.Curve(k)
+		b, ok := back.Curve(k)
+		if !ok || a != b {
+			t.Fatalf("curve %s: %+v vs %+v", k, a, b)
+		}
+	}
+}
+
+func TestRoadmapKeysSorted(t *testing.T) {
+	r := Default2002()
+	ks := r.Keys()
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("keys not sorted: %v", ks)
+		}
+	}
+}
+
+func TestEngineering(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{4.8e9, "flop/s", "4.8 Gflop/s"},
+		{1e15, "flop/s", "1 Pflop/s"},
+		{0, "W", "0 W"},
+		{250, "W", "250 W"},
+		{50e-6, "s", "50 µs"},
+		{-3.2e9, "B/s", "-3.2 GB/s"},
+	}
+	for _, c := range cases {
+		if got := Engineering(c.v, c.unit); got != c.want {
+			t.Errorf("Engineering(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestDollars(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{2500, "$2.5k"},
+		{1e6, "$1M"},
+		{2.0e10, "$20B"},
+		{75, "$75"},
+	}
+	for _, c := range cases {
+		if got := Dollars(c.v); got != c.want {
+			t.Errorf("Dollars(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCurveBreakPoint(t *testing.T) {
+	c := Curve{Key: "x", BaseYear: 2000, Base: 100, CAGR: 1.0, BreakYear: 2002, CAGR2: 0}
+	if got := c.At(2002); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("At(break) = %g, want 400", got)
+	}
+	if got := c.At(2005); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("At(after flat break) = %g, want 400", got)
+	}
+	c.CAGR2 = 1.0 // no regime change: continuous doubling
+	if got := c.At(2004); math.Abs(got-1600) > 1e-9 {
+		t.Fatalf("continuous break At(2004) = %g, want 1600", got)
+	}
+}
+
+func TestCurveBreakYearReaching(t *testing.T) {
+	c := Curve{Key: "x", BaseYear: 2000, Base: 1, CAGR: 1.0, BreakYear: 2004, CAGR2: 0.4142135623730951} // sqrt2-1: doubling every 2y after
+	// Target inside segment 1.
+	y, err := c.YearReaching(8)
+	if err != nil || math.Abs(y-2003) > 1e-9 {
+		t.Fatalf("segment-1 target: %g, %v", y, err)
+	}
+	// Target in segment 2: value at break = 16; 64 needs 2 more doublings = 4 years.
+	y, err = c.YearReaching(64)
+	if err != nil || math.Abs(y-2008) > 1e-6 {
+		t.Fatalf("segment-2 target: %g, %v", y, err)
+	}
+}
+
+func TestCurveBreakValidation(t *testing.T) {
+	bad := Curve{Key: "x", BaseYear: 2005, Base: 1, CAGR: 0.5, BreakYear: 2000}
+	if err := bad.Validate(); err == nil {
+		t.Error("break before base accepted")
+	}
+	bad2 := Curve{Key: "x", BaseYear: 2000, Base: 1, CAGR: 0.5, BreakYear: 2005, CAGR2: -2}
+	if err := bad2.Validate(); err == nil {
+		t.Error("CAGR2 <= -1 accepted")
+	}
+}
+
+func TestPowerWall2005(t *testing.T) {
+	def := Default2002()
+	pw := PowerWall2005()
+	// Identical through 2005.
+	if def.At(PeakFlopsPerSocket, 2004) != pw.At(PeakFlopsPerSocket, 2004) {
+		t.Error("power wall altered pre-2005 flops")
+	}
+	// Far slower by 2010.
+	if pw.At(PeakFlopsPerSocket, 2010) > 0.5*def.At(PeakFlopsPerSocket, 2010) {
+		t.Error("power wall did not slow per-socket flops")
+	}
+	// Power flat after 2005.
+	if pw.At(WattsPerSocket, 2010) != pw.At(WattsPerSocket, 2005) {
+		t.Error("socket power not flat after the wall")
+	}
+	// JSON round trip preserves break fields.
+	data, err := json.Marshal(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Roadmap
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.At(PeakFlopsPerSocket, 2010) != pw.At(PeakFlopsPerSocket, 2010) {
+		t.Error("break fields lost in JSON round trip")
+	}
+}

@@ -1,0 +1,84 @@
+package topology
+
+import "fmt"
+
+// Link-failure support: edges can be disabled (a failed cable, switch
+// port, or — by disabling all of a switch's edges — a whole switch).
+// Routing recomputes around disabled edges, modeling the degraded-but-
+// operational behavior that multi-path topologies such as fat trees and
+// tori were designed for.
+
+// DisableEdge removes edge e from routing. It reports an error if e is
+// out of range or already disabled. Routing caches are invalidated.
+func (g *Graph) DisableEdge(e int) error {
+	if e < 0 || e >= len(g.edges) {
+		return fmt.Errorf("topology: edge %d out of range", e)
+	}
+	if g.disabled == nil {
+		g.disabled = make(map[int]bool)
+	}
+	if g.disabled[e] {
+		return fmt.Errorf("topology: edge %d already disabled", e)
+	}
+	g.disabled[e] = true
+	g.trees = make(map[int][][]halfEdge)
+	return nil
+}
+
+// EnableEdge restores a previously disabled edge.
+func (g *Graph) EnableEdge(e int) error {
+	if !g.disabled[e] {
+		return fmt.Errorf("topology: edge %d is not disabled", e)
+	}
+	delete(g.disabled, e)
+	g.trees = make(map[int][][]halfEdge)
+	return nil
+}
+
+// DisableVertex disables every edge at vertex v (a failed switch or
+// NIC), returning the edges it disabled so the caller can re-enable
+// them.
+func (g *Graph) DisableVertex(v int) ([]int, error) {
+	if v < 0 || v >= len(g.verts) {
+		return nil, fmt.Errorf("topology: vertex %d out of range", v)
+	}
+	var out []int
+	for _, he := range g.adj[v] {
+		if !g.disabled[he.edge] {
+			if err := g.DisableEdge(he.edge); err != nil {
+				return out, err
+			}
+			out = append(out, he.edge)
+		}
+	}
+	return out, nil
+}
+
+// DisabledEdges returns the number of currently disabled edges.
+func (g *Graph) DisabledEdges() int { return len(g.disabled) }
+
+// Reachable reports whether dst can be reached from src through enabled
+// edges.
+func (g *Graph) Reachable(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	tree := g.tree(dst)
+	return len(tree[src]) > 0
+}
+
+// AllEndpointsConnected reports whether every endpoint pair remains
+// mutually reachable — the health check a degraded fabric runs before
+// admitting traffic.
+func (g *Graph) AllEndpointsConnected() bool {
+	if len(g.endpoints) == 0 {
+		return false
+	}
+	tree := g.tree(g.endpoints[0])
+	for _, ep := range g.endpoints {
+		if ep != g.endpoints[0] && len(tree[ep]) == 0 {
+			return false
+		}
+	}
+	return true
+}

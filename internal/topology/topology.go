@@ -1,0 +1,234 @@
+// Package topology builds and routes the interconnect graphs a cluster
+// fabric is wired as: single-switch crossbars, folded-Clos/fat-trees,
+// 2D/3D tori, and hypercubes. The packet-level network simulator walks
+// the routes produced here, so routing is deterministic: the same
+// (src, dst) pair always takes the same path, with equal-cost multipath
+// choices resolved by a stable hash.
+package topology
+
+import (
+	"fmt"
+)
+
+// Vertex is a node of the interconnect graph: either an endpoint (a
+// compute node's NIC) or a switch.
+type Vertex struct {
+	Endpoint bool
+	Label    string
+}
+
+// Edge is an undirected link between two vertices. Edges carry no weight
+// here; the network layer assigns bandwidth and latency per fabric.
+type Edge struct {
+	A, B int
+}
+
+// Other returns the vertex on the far side of the edge from v.
+func (e Edge) Other(v int) int {
+	if v == e.A {
+		return e.B
+	}
+	return e.A
+}
+
+type halfEdge struct {
+	to   int
+	edge int
+}
+
+// Graph is an interconnect topology with deterministic shortest-path
+// routing. Build one with the constructors in this package (Crossbar,
+// FatTree, Torus2D, Torus3D, Hypercube) or assemble a custom one with
+// AddVertex/AddEdge followed by Finalize.
+type Graph struct {
+	Name string
+	// BisectionLinks is the number of links crossing the canonical
+	// bisection, set analytically by each builder (0 if unknown).
+	BisectionLinks int
+
+	verts     []Vertex
+	edges     []Edge
+	adj       [][]halfEdge
+	endpoints []int
+	final     bool
+	disabled  map[int]bool // failed links (see failures.go)
+
+	// routing cache: for each destination vertex, the multi-parent BFS
+	// tree (list of candidate next hops toward dst), built lazily.
+	trees map[int][][]halfEdge
+}
+
+// NewGraph returns an empty graph with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, trees: make(map[int][][]halfEdge)}
+}
+
+// AddVertex appends a vertex and returns its id.
+func (g *Graph) AddVertex(v Vertex) int {
+	if g.final {
+		panic("topology: AddVertex after Finalize")
+	}
+	g.verts = append(g.verts, v)
+	if v.Endpoint {
+		g.endpoints = append(g.endpoints, len(g.verts)-1)
+	}
+	return len(g.verts) - 1
+}
+
+// AddEdge appends an undirected link between vertices a and b and
+// returns its edge id.
+func (g *Graph) AddEdge(a, b int) int {
+	if g.final {
+		panic("topology: AddEdge after Finalize")
+	}
+	if a == b || a < 0 || b < 0 || a >= len(g.verts) || b >= len(g.verts) {
+		panic(fmt.Sprintf("topology: bad edge %d-%d", a, b))
+	}
+	g.edges = append(g.edges, Edge{A: a, B: b})
+	return len(g.edges) - 1
+}
+
+// Finalize builds adjacency structures. It must be called once after
+// construction and before routing; builders call it for you.
+func (g *Graph) Finalize() error {
+	if g.final {
+		return nil
+	}
+	g.adj = make([][]halfEdge, len(g.verts))
+	for i, e := range g.edges {
+		g.adj[e.A] = append(g.adj[e.A], halfEdge{to: e.B, edge: i})
+		g.adj[e.B] = append(g.adj[e.B], halfEdge{to: e.A, edge: i})
+	}
+	g.final = true
+	if len(g.endpoints) == 0 {
+		return fmt.Errorf("topology: graph %q has no endpoints", g.Name)
+	}
+	// Verify every endpoint can reach endpoint 0.
+	tree := g.tree(g.endpoints[0])
+	for _, ep := range g.endpoints {
+		if ep != g.endpoints[0] && len(tree[ep]) == 0 {
+			return fmt.Errorf("topology: graph %q is disconnected at endpoint %d", g.Name, ep)
+		}
+	}
+	return nil
+}
+
+// Vertices returns the number of vertices (endpoints + switches).
+func (g *Graph) Vertices() int { return len(g.verts) }
+
+// Vertex returns vertex v's metadata.
+func (g *Graph) Vertex(v int) Vertex { return g.verts[v] }
+
+// Edges returns the number of links.
+func (g *Graph) Edges() int { return len(g.edges) }
+
+// Edge returns edge e.
+func (g *Graph) Edge(e int) Edge { return g.edges[e] }
+
+// Endpoints returns the endpoint vertex ids in construction order. The
+// slice is owned by the graph; callers must not modify it.
+func (g *Graph) Endpoints() []int { return g.endpoints }
+
+// NumEndpoints returns the number of endpoints.
+func (g *Graph) NumEndpoints() int { return len(g.endpoints) }
+
+// Degree returns the number of links at vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// tree returns (building if needed) the multi-parent BFS tree rooted at
+// dst: tree[v] lists the next hops from v that lie on a shortest path to
+// dst. Neighbors are explored in adjacency order, which is deterministic
+// by construction.
+func (g *Graph) tree(dst int) [][]halfEdge {
+	if t, ok := g.trees[dst]; ok {
+		return t
+	}
+	if !g.final {
+		panic("topology: routing before Finalize")
+	}
+	dist := make([]int, len(g.verts))
+	for i := range dist {
+		dist[i] = -1
+	}
+	tree := make([][]halfEdge, len(g.verts))
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[v] {
+			if g.disabled[he.edge] {
+				continue
+			}
+			switch {
+			case dist[he.to] == -1:
+				dist[he.to] = dist[v] + 1
+				tree[he.to] = append(tree[he.to], halfEdge{to: v, edge: he.edge})
+				queue = append(queue, he.to)
+			case dist[he.to] == dist[v]+1:
+				// Another equal-cost next hop toward dst.
+				tree[he.to] = append(tree[he.to], halfEdge{to: v, edge: he.edge})
+			}
+		}
+	}
+	g.trees[dst] = tree
+	return tree
+}
+
+// Route returns the shortest path from endpoint src to endpoint dst as a
+// sequence of edge ids, plus the vertex sequence (len(edges)+1 vertices,
+// starting at src and ending at dst). Equal-cost choices are resolved by
+// a hash of (src, dst, hop), spreading distinct flows across the
+// equal-cost links — the deterministic analogue of ECMP / d-mod-k
+// routing in a folded Clos. Route panics if src or dst is not a vertex
+// or no path exists.
+func (g *Graph) Route(src, dst int) (edges []int, verts []int) {
+	if src == dst {
+		return nil, []int{src}
+	}
+	tree := g.tree(dst)
+	verts = append(verts, src)
+	v := src
+	for hop := 0; v != dst; hop++ {
+		cands := tree[v]
+		if len(cands) == 0 {
+			panic(fmt.Sprintf("topology: no route %d->%d in %q", src, dst, g.Name))
+		}
+		he := cands[pathHash(src, dst, hop)%uint64(len(cands))]
+		edges = append(edges, he.edge)
+		verts = append(verts, he.to)
+		v = he.to
+	}
+	return edges, verts
+}
+
+// Dist returns the hop count of the shortest path between two vertices,
+// or -1 if unreachable.
+func (g *Graph) Dist(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	tree := g.tree(dst)
+	d := 0
+	v := src
+	for v != dst {
+		if len(tree[v]) == 0 {
+			return -1
+		}
+		v = tree[v][0].to
+		d++
+	}
+	return d
+}
+
+// pathHash mixes (src, dst, hop) into a stable pseudo-random value
+// (splitmix64 finalizer).
+func pathHash(src, dst, hop int) uint64 {
+	x := uint64(src)*0x9e3779b97f4a7c15 ^ uint64(dst)<<32 ^ uint64(hop)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+
+	"northstar/internal/msg"
+)
+
+// Sweep2D models a wavefront computation (Sn transport sweeps, triangular
+// solves): the global grid is block-decomposed over a 2D process grid and
+// a dependency front moves from the northwest corner to the southeast —
+// each rank must receive its west and north halos before computing a
+// block, then forwards east and south. Splitting the work into Blocks
+// pipeline stages lets downstream ranks start sooner; the classic
+// completion model is (px + py - 2 + Blocks) stages rather than
+// Blocks x (px + py) — which is exactly what this skeleton reproduces
+// and the tests assert.
+type Sweep2D struct {
+	NX, NY int // global grid points
+	Blocks int // pipeline stages per sweep (angle blocks)
+	Sweeps int // number of full corner-to-corner sweeps
+}
+
+// Name implements App.
+func (s Sweep2D) Name() string {
+	return fmt.Sprintf("sweep2d-%dx%d-b%d", s.NX, s.NY, s.Blocks)
+}
+
+// Run implements App.
+func (s Sweep2D) Run(r *msg.Rank) {
+	p := r.Size()
+	px, py := processGrid(p)
+	myX, myY := r.ID()%px, r.ID()/px
+	localX := s.NX / px
+	localY := s.NY / py
+	if localX < 1 || localY < 1 {
+		panic("workload: sweep grid smaller than process grid")
+	}
+	blocks := s.Blocks
+	if blocks <= 0 {
+		blocks = 1
+	}
+	sweeps := s.Sweeps
+	if sweeps <= 0 {
+		sweeps = 1
+	}
+	const elem = 8
+	west, north := -1, -1
+	east, south := -1, -1
+	if myX > 0 {
+		west = r.ID() - 1
+	}
+	if myX < px-1 {
+		east = r.ID() + 1
+	}
+	if myY > 0 {
+		north = r.ID() - px
+	}
+	if myY < py-1 {
+		south = r.ID() + px
+	}
+	// Per-block work: the rank's points split across pipeline stages;
+	// ~15 flops and ~10 memory accesses per point (transport kernel).
+	points := float64(localX) * float64(localY) / float64(blocks)
+	eastBytes := int64(localY) * elem / int64(blocks)
+	southBytes := int64(localX) * elem / int64(blocks)
+	if eastBytes < elem {
+		eastBytes = elem
+	}
+	if southBytes < elem {
+		southBytes = elem
+	}
+	for sw := 0; sw < sweeps; sw++ {
+		for b := 0; b < blocks; b++ {
+			tag := sw*blocks + b
+			if west >= 0 {
+				r.Recv(west, tag)
+			}
+			if north >= 0 {
+				r.Recv(north, tag)
+			}
+			r.Compute(15*points, 10*elem*points)
+			if east >= 0 {
+				r.Send(east, tag, eastBytes)
+			}
+			if south >= 0 {
+				r.Send(south, tag, southBytes)
+			}
+		}
+	}
+}
