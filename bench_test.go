@@ -210,6 +210,20 @@ func BenchmarkFullQuickSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkFullQuickSuiteParallel is the same suite on one worker per
+// CPU; the ratio to BenchmarkFullQuickSuite is the runner's speedup on
+// this host.
+func BenchmarkFullQuickSuiteParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full suite")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := northstar.RunExperimentsParallel(io.Discard, true, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkX1Hybrid(b *testing.B) {
 	runExperiment(b, "X1", func(t *experiments.Table) (float64, string) {
 		return cellFloat(b, t, 0, "hybrid/flat"), "stencil-hybrid-vs-flat"

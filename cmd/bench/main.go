@@ -1,0 +1,195 @@
+// Command bench measures the repository's two perf-critical paths — the
+// event kernel and the experiment suite — and writes the results as JSON
+// (BENCH_runner.json at the repo root; regenerate with scripts/bench.sh).
+// The JSON seeds the repo's perf trajectory: each perf PR reruns it and
+// the numbers must not regress.
+//
+// Usage:
+//
+//	bench                      # full-scale suite, 2M kernel events
+//	bench -quick               # CI-scale suite
+//	bench -events 500000       # shorter kernel run
+//	bench -par 4               # parallel suite worker count (0 = CPUs)
+//	bench -o out.json          # write somewhere else ("-" for stdout)
+//
+// Wall-clock numbers are host-dependent; the committed file records the
+// reference container. The seed block is the pre-optimization baseline
+// (PR 1: container/heap kernel, sequential-only runner) measured on that
+// same container, kept for before/after comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"northstar/internal/experiments"
+	"northstar/internal/sim"
+)
+
+// Report is the schema of BENCH_runner.json.
+type Report struct {
+	Schema    string    `json:"schema"`
+	Generated string    `json:"generated_by"`
+	Host      HostInfo  `json:"host"`
+	Kernel    KernelRes `json:"kernel"`
+	Suite     SuiteRes  `json:"suite"`
+	Seed      *SeedRef  `json:"seed_baseline,omitempty"`
+}
+
+// HostInfo identifies the measuring host; wall-clock numbers are only
+// comparable within one host.
+type HostInfo struct {
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// KernelRes reports event-kernel throughput (the hot path of every
+// simulation in the repo).
+type KernelRes struct {
+	Events         int     `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// SuiteRes reports experiment-suite wall clock, sequential vs parallel.
+type SuiteRes struct {
+	Quick             bool    `json:"quick"`
+	Experiments       int     `json:"experiments"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelWorkers   int     `json:"parallel_workers"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// SeedRef is the fixed pre-optimization baseline for before/after
+// comparison, measured on the reference container at PR 1.
+type SeedRef struct {
+	Note           string  `json:"note"`
+	NsPerEvent     float64 `json:"kernel_ns_per_event"`
+	AllocsPerEvent float64 `json:"kernel_allocs_per_event"`
+	BytesPerEvent  float64 `json:"kernel_bytes_per_event"`
+	SuiteSeconds   float64 `json:"suite_full_sequential_seconds"`
+}
+
+var seedBaseline = SeedRef{
+	Note: "seed kernel (container/heap, pointer events, no pooling) + " +
+		"sequential-only runner, reference container (1 CPU)",
+	NsPerEvent:     79.5,
+	AllocsPerEvent: 1,
+	BytesPerEvent:  24,
+	SuiteSeconds:   7.63,
+}
+
+func main() {
+	events := flag.Int("events", 2_000_000, "kernel benchmark event count")
+	quick := flag.Bool("quick", false, "run the suite at CI scale")
+	par := flag.Int("par", 0, "parallel suite workers; 0 = one per CPU")
+	out := flag.String("o", "BENCH_runner.json", `output path ("-" for stdout)`)
+	flag.Parse()
+
+	rep := Report{
+		Schema:    "northstar-bench/v1",
+		Generated: "go run ./cmd/bench (see scripts/bench.sh)",
+		Host: HostInfo{
+			Go:         runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Seed: &seedBaseline,
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: kernel throughput (%d events)...\n", *events)
+	rep.Kernel = benchKernel(*events)
+
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep.Suite.Quick = *quick
+	rep.Suite.Experiments = len(experiments.All())
+	rep.Suite.ParallelWorkers = workers
+
+	fmt.Fprintf(os.Stderr, "bench: suite sequential (quick=%v)...\n", *quick)
+	rep.Suite.SequentialSeconds = benchSuite(*quick, 1)
+	fmt.Fprintf(os.Stderr, "bench: suite parallel (workers=%d)...\n", workers)
+	rep.Suite.ParallelSeconds = benchSuite(*quick, workers)
+	if rep.Suite.ParallelSeconds > 0 {
+		rep.Suite.Speedup = round3(rep.Suite.SequentialSeconds / rep.Suite.ParallelSeconds)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event, %.2f allocs/event; suite %.2fs -> %.2fs, %.2fx)\n",
+		*out, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent,
+		rep.Suite.SequentialSeconds, rep.Suite.ParallelSeconds, rep.Suite.Speedup)
+}
+
+// benchKernel mirrors BenchmarkKernelEventThroughput (internal/sim): a
+// self-rescheduling event chain with random future offsets, measured with
+// memstats deltas so it needs no testing harness.
+func benchKernel(events int) KernelRes {
+	k := sim.New(1)
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	var fn func()
+	fn = func() {
+		if n < events {
+			n++
+			k.After(sim.Time(rng.Float64()), fn)
+		}
+	}
+	k.After(0, fn)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	k.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return KernelRes{
+		Events:         events,
+		NsPerEvent:     round3(float64(elapsed.Nanoseconds()) / float64(events)),
+		AllocsPerEvent: round3(float64(after.Mallocs-before.Mallocs) / float64(events)),
+		BytesPerEvent:  round3(float64(after.TotalAlloc-before.TotalAlloc) / float64(events)),
+	}
+}
+
+// benchSuite runs the whole experiment suite once and reports seconds.
+func benchSuite(quick bool, workers int) float64 {
+	start := time.Now()
+	if _, err := experiments.RunAllParallel(io.Discard, quick, workers); err != nil {
+		fatal(err)
+	}
+	return round3(time.Since(start).Seconds())
+}
+
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -3,10 +3,18 @@
 //
 // Usage:
 //
-//	experiments               # run everything at full scale, text tables
+//	experiments               # run everything, parallel across CPUs
+//	experiments -par 1        # sequential (same bytes, slower)
+//	experiments -par 4        # bounded worker pool
 //	experiments -quick        # CI-scale sweeps
 //	experiments -id E7        # one experiment
 //	experiments -csv out/     # also write one CSV per table into out/
+//
+// Tables always print in suite order (E1 … X7) regardless of -par; every
+// number in them is virtual time, so the bytes are identical for any
+// worker count. If an experiment fails, the remaining experiments still
+// run and print, the failures are reported on stderr, and the exit status
+// is non-zero.
 package main
 
 import (
@@ -22,40 +30,57 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for fast runs")
 	id := flag.String("id", "", "run only this experiment (e.g. E7)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	par := flag.Int("par", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	flag.Parse()
 
-	specs := experiments.All()
-	if *id != "" {
-		s, err := experiments.ByID(*id)
-		if err != nil {
-			fatal(err)
-		}
-		specs = []experiments.Spec{s}
-	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
-	for _, s := range specs {
+
+	var tables []*experiments.Table
+	var runErr error
+	if *id != "" {
+		s, err := experiments.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
 		t, err := s.Run(*quick)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", s.ID, err))
 		}
 		t.Fprint(os.Stdout)
-		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, t.ID+".csv"))
-			if err != nil {
-				fatal(err)
+		tables = []*experiments.Table{t}
+	} else {
+		tables, runErr = experiments.RunAllParallel(os.Stdout, *quick, *par)
+	}
+
+	if *csvDir != "" {
+		for _, t := range tables {
+			if t == nil {
+				continue // failed experiment; reported via runErr
 			}
-			if err := t.CSV(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := writeCSV(*csvDir, t); err != nil {
 				fatal(err)
 			}
 		}
 	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Spec names one experiment and how to run it.
@@ -43,27 +44,31 @@ func All() []Spec {
 	}
 }
 
-// ByID returns the experiment spec with the given ID.
+var byID struct {
+	once sync.Once
+	m    map[string]Spec
+}
+
+// ByID returns the experiment spec with the given ID. The index is built
+// once, on first use.
 func ByID(id string) (Spec, error) {
-	for _, s := range All() {
-		if s.ID == id {
-			return s, nil
+	byID.once.Do(func() {
+		specs := All()
+		byID.m = make(map[string]Spec, len(specs))
+		for _, s := range specs {
+			byID.m[s.ID] = s
 		}
+	})
+	if s, ok := byID.m[id]; ok {
+		return s, nil
 	}
 	return Spec{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment, printing each table to w as it
-// completes. It returns the tables.
+// RunAll executes every experiment sequentially, printing each table to w
+// as it completes. It is RunAllParallel with one worker: the returned
+// slice has one slot per spec in suite order (nil marks a failure), and
+// a failing experiment no longer drops the experiments after it.
 func RunAll(w io.Writer, quick bool) ([]*Table, error) {
-	var out []*Table
-	for _, s := range All() {
-		t, err := s.Run(quick)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s failed: %w", s.ID, err)
-		}
-		t.Fprint(w)
-		out = append(out, t)
-	}
-	return out, nil
+	return RunAllParallel(w, quick, 1)
 }

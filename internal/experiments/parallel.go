@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// RunAllParallel executes the full experiment suite on a bounded worker
+// pool and prints each table to w in suite order (E1 … X7) as soon as it
+// and all its predecessors are done. Every experiment is independent —
+// each builds its own kernels, machines, and roadmaps — so the tables are
+// byte-identical to a sequential run; only host wall-clock changes.
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 runs
+// everything on the calling goroutine (the sequential path).
+//
+// Unlike a sequential early-exit loop, a failing experiment does not drop
+// the experiments after it: all specs run to completion, failed ones
+// print nothing, and the returned slice holds one slot per spec in suite
+// order with nil marking failures. The returned error joins every
+// per-experiment failure (nil if all succeeded).
+func RunAllParallel(w io.Writer, quick bool, workers int) ([]*Table, error) {
+	return runSpecs(w, All(), quick, workers)
+}
+
+func runSpecs(w io.Writer, specs []Spec, quick bool, workers int) ([]*Table, error) {
+	tables := make([]*Table, len(specs))
+	errs := make([]error, len(specs))
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	runOne := func(i int) {
+		t, err := specs[i].Run(quick)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: %s failed: %w", specs[i].ID, err)
+			return
+		}
+		tables[i] = t
+	}
+
+	if workers == 1 {
+		for i := range specs {
+			runOne(i)
+			if tables[i] != nil {
+				tables[i].Fprint(w)
+			}
+		}
+		return tables, errors.Join(errs...)
+	}
+
+	// Each spec gets a result slot and a done signal; workers fill slots
+	// in whatever order they finish, while this goroutine prints slots
+	// strictly in suite order, streaming output as the frontier advances.
+	done := make([]chan struct{}, len(specs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runOne(i)
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range specs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}()
+	for i := range specs {
+		<-done[i]
+		if tables[i] != nil {
+			tables[i].Fprint(w)
+		}
+	}
+	return tables, errors.Join(errs...)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Every experiment ID must be unique: ByID's index and the parallel
+// runner's result slots both key on it.
+func TestAllIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range All() {
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment ID %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestByIDIndexCoversAll(t *testing.T) {
+	for _, want := range All() {
+		s, err := ByID(want.ID)
+		if err != nil {
+			t.Fatalf("ByID(%q): %v", want.ID, err)
+		}
+		if s.ID != want.ID {
+			t.Fatalf("ByID(%q) returned %q", want.ID, s.ID)
+		}
+	}
+}
+
+// The tables carry only virtual-time numbers, so any byte difference
+// between worker counts is a real shared-state race or ordering bug.
+func TestRunAllParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	var ref bytes.Buffer
+	refTabs, err := RunAll(&ref, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		tabs, err := RunAllParallel(&buf, true, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(tabs) != len(refTabs) {
+			t.Fatalf("workers=%d: %d tables, want %d", workers, len(tabs), len(refTabs))
+		}
+		if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+			t.Fatalf("workers=%d output differs from sequential run", workers)
+		}
+	}
+}
+
+// A failure mid-suite must not drop the experiments after it: their
+// tables still run, print, and return; the error names the failed ID.
+func TestRunSpecsPartialFailure(t *testing.T) {
+	boom := errors.New("boom")
+	ok := func(id string) Spec {
+		return Spec{ID: id, Title: "ok", Run: func(bool) (*Table, error) {
+			tab := &Table{ID: id, Title: "ok", Columns: []string{"v"}}
+			tab.AddRow("1")
+			return tab, nil
+		}}
+	}
+	specs := []Spec{
+		ok("T1"),
+		{ID: "T2", Title: "fails", Run: func(bool) (*Table, error) { return nil, boom }},
+		ok("T3"),
+	}
+	for _, workers := range []int{1, 3} {
+		var buf bytes.Buffer
+		tabs, err := runSpecs(&buf, specs, true, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: no error for failing spec", workers)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v does not wrap cause", workers, err)
+		}
+		if !strings.Contains(err.Error(), "T2") {
+			t.Fatalf("workers=%d: error %v does not name failed ID", workers, err)
+		}
+		if len(tabs) != 3 || tabs[0] == nil || tabs[1] != nil || tabs[2] == nil {
+			t.Fatalf("workers=%d: slots = %v, want [T1 nil T3]", workers, tabs)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "T1") || !strings.Contains(out, "T3") {
+			t.Fatalf("workers=%d: surviving tables not printed:\n%s", workers, out)
+		}
+		if strings.Contains(out, "fails") {
+			t.Fatalf("workers=%d: failed table printed:\n%s", workers, out)
+		}
+	}
+}
+
+// Output must stream in suite order even when later specs finish first.
+func TestRunSpecsOrderedStreaming(t *testing.T) {
+	mk := func(id string) Spec {
+		return Spec{ID: id, Title: id, Run: func(bool) (*Table, error) {
+			tab := &Table{ID: id, Title: id, Columns: []string{"v"}}
+			tab.AddRow(id)
+			return tab, nil
+		}}
+	}
+	specs := []Spec{mk("A"), mk("B"), mk("C"), mk("D")}
+	var buf bytes.Buffer
+	if _, err := runSpecs(&buf, specs, true, 4); err != nil {
+		t.Fatal(err)
+	}
+	order := []int{
+		strings.Index(buf.String(), "== A"),
+		strings.Index(buf.String(), "== B"),
+		strings.Index(buf.String(), "== C"),
+		strings.Index(buf.String(), "== D"),
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] < 0 || order[i] < order[i-1] {
+			t.Fatalf("tables out of suite order: offsets %v\n%s", order, buf.String())
+		}
+	}
+}

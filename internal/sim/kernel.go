@@ -10,10 +10,18 @@
 // and all randomness flows from a caller-supplied seed. Two runs with the
 // same seed produce bit-identical event orderings, which keeps every
 // experiment in this repository reproducible.
+//
+// Performance: the event queue is the hot path of every simulation, so it
+// avoids allocating on it. Scheduling pushes a value-type entry onto a
+// hand-rolled 4-ary min-heap (shallower than a binary heap, and sibling
+// keys share cache lines), event payloads are recycled through a free
+// list, cancelled events are deleted lazily with the heap compacted once
+// dead entries outnumber live ones, and events scheduled at the current
+// virtual time — the dominant case for process handoff — bypass the heap
+// entirely via a FIFO queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -66,59 +74,78 @@ func (t Time) String() string {
 	}
 }
 
+// event is the pooled payload of one scheduled event. Queue entries point
+// at an event; after it fires or its cancellation is drained, the payload
+// returns to the kernel's free list with its generation bumped, which
+// invalidates any Handle still referring to it.
+type event struct {
+	fn    func()
+	gen   uint32
+	inNow bool // queued on the same-time fast path, not the heap
+}
+
 // Handle identifies a scheduled event and allows cancelling it before it
 // fires. The zero Handle is invalid.
 type Handle struct {
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint32
 }
 
 // Cancel removes the event from the schedule. Cancelling an event that has
 // already fired or been cancelled is a no-op. Cancel reports whether the
 // event was still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.fn == nil {
+	if h.ev == nil || h.gen != h.ev.gen || h.ev.fn == nil {
 		return false
 	}
-	h.ev.fn = nil // lazy deletion; heap entry stays until popped
+	h.ev.fn = nil // lazy deletion; the queue entry stays until drained
+	if !h.ev.inNow {
+		h.k.dead++
+		if h.k.dead*2 > len(h.k.heap) && len(h.k.heap) >= compactMin {
+			h.k.compact()
+		}
+	}
 	return true
 }
 
 // Pending reports whether the event has not yet fired or been cancelled.
-func (h Handle) Pending() bool { return h.ev != nil && h.ev.fn != nil }
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.gen == h.ev.gen && h.ev.fn != nil
+}
 
-type event struct {
+// entry is one slot of the 4-ary min-heap, ordered by (at, seq).
+type entry struct {
 	at  Time
 	seq uint64
-	fn  func()
+	ev  *event
 }
 
-type eventHeap []*event
+func entryLess(a, b entry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
-}
+// compactMin is the minimum heap size at which cancellation-driven
+// compaction kicks in; below it, lazy draining is cheap enough.
+const compactMin = 64
 
 // Kernel is a discrete-event simulation engine. A Kernel is not safe for
 // concurrent use; all interaction must happen from the goroutine driving
 // Run (event handlers run on that goroutine, and Proc goroutines run only
 // while the kernel is parked waiting for them — see proc.go).
 type Kernel struct {
-	now     Time
-	events  eventHeap
+	now  Time
+	heap []entry // 4-ary min-heap of future events, keyed by (at, seq)
+	dead int     // cancelled events still occupying heap slots
+
+	// nowq is the fast path for events scheduled at the current virtual
+	// time: they cannot be preceded by anything except earlier-scheduled
+	// events also due now, so FIFO order is (at, seq) order and no heap
+	// sift is needed. qhead indexes the first undrained entry.
+	nowq  []*event
+	qhead int
+
+	free    []*event // payload free list; bounded by peak pending events
 	seq     uint64
 	rng     *rand.Rand
 	fired   uint64
@@ -149,7 +176,7 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Pending reports how many events are scheduled (including lazily
 // cancelled entries not yet drained).
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.heap) + len(k.nowq) - k.qhead }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: a discrete-event simulation must never travel backwards.
@@ -160,10 +187,19 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	ev := k.newEvent(fn)
 	k.seq++
-	heap.Push(&k.events, ev)
-	return Handle{ev}
+	if t == k.now {
+		// Same-time fast path. Any heap entry due at t was scheduled
+		// before the clock reached t, so it carries a smaller seq than
+		// this event and Step drains the heap first; among nowq entries
+		// FIFO order equals seq order.
+		ev.inNow = true
+		k.nowq = append(k.nowq, ev)
+	} else {
+		k.heapPush(entry{at: t, seq: k.seq, ev: ev})
+	}
+	return Handle{k: k, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -176,19 +212,23 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		k.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		k.fired++
-		fn()
-		return true
+	k.drainDead()
+	var ev *event
+	switch {
+	case len(k.heap) > 0 && (k.heap[0].at == k.now || k.qhead == len(k.nowq)):
+		e := k.heapPop()
+		k.now = e.at
+		ev = e.ev
+	case k.qhead < len(k.nowq):
+		ev = k.popNow()
+	default:
+		return false
 	}
-	return false
+	fn := ev.fn
+	k.recycle(ev)
+	k.fired++
+	fn()
+	return true
 }
 
 // Run executes events until none remain or Stop is called. It returns the
@@ -220,15 +260,147 @@ func (k *Kernel) RunUntil(t Time) Time {
 
 // peek returns the timestamp of the next live event.
 func (k *Kernel) peek() (Time, bool) {
-	for len(k.events) > 0 {
-		if k.events[0].fn == nil {
-			heap.Pop(&k.events)
-			continue
-		}
-		return k.events[0].at, true
+	k.drainDead()
+	if k.qhead < len(k.nowq) {
+		return k.now, true
+	}
+	if len(k.heap) > 0 {
+		return k.heap[0].at, true
 	}
 	return 0, false
 }
 
 // NextEventAt returns the time of the next pending event, if any.
 func (k *Kernel) NextEventAt() (Time, bool) { return k.peek() }
+
+// ---- event pool ----
+
+func (k *Kernel) newEvent(fn func()) *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		ev.fn = fn
+		ev.inNow = false
+		return ev
+	}
+	return &event{fn: fn}
+}
+
+// recycle returns a drained payload to the free list. Bumping the
+// generation invalidates outstanding Handles before the payload is reused.
+func (k *Kernel) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	k.free = append(k.free, ev)
+}
+
+// ---- queues ----
+
+// drainDead recycles cancelled entries sitting at the front of either
+// queue so Step and peek see a live minimum.
+func (k *Kernel) drainDead() {
+	for len(k.heap) > 0 && k.heap[0].ev.fn == nil {
+		k.recycle(k.heapPop().ev)
+		k.dead--
+	}
+	for k.qhead < len(k.nowq) && k.nowq[k.qhead].fn == nil {
+		k.recycle(k.popNow())
+	}
+}
+
+// popNow removes and returns the front of the same-time queue.
+func (k *Kernel) popNow() *event {
+	ev := k.nowq[k.qhead]
+	k.nowq[k.qhead] = nil
+	k.qhead++
+	if k.qhead == len(k.nowq) {
+		k.nowq = k.nowq[:0]
+		k.qhead = 0
+	}
+	return ev
+}
+
+// heapPush inserts e, sifting up with moves instead of swaps.
+func (k *Kernel) heapPush(e entry) {
+	k.heap = append(k.heap, e)
+	h := k.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// heapPop removes and returns the minimum entry.
+func (k *Kernel) heapPop() entry {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = entry{}
+	k.heap = h[:n]
+	if n > 0 {
+		k.siftDown(0, last)
+	}
+	return top
+}
+
+// siftDown places e at index i, moving smaller children up.
+func (k *Kernel) siftDown(i int, e entry) {
+	h := k.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !entryLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
+}
+
+// compact removes all cancelled entries from the heap and re-heapifies.
+// Triggered from Cancel once dead entries outnumber live ones, it keeps
+// cancellation-heavy workloads (timeouts that almost always get cancelled)
+// from growing the heap without bound.
+func (k *Kernel) compact() {
+	h := k.heap
+	live := h[:0]
+	for _, e := range h {
+		if e.ev.fn == nil {
+			k.recycle(e.ev)
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(h); i++ {
+		h[i] = entry{}
+	}
+	k.heap = live
+	k.dead = 0
+	if n := len(live); n > 1 {
+		for i := (n - 2) >> 2; i >= 0; i-- {
+			k.siftDown(i, k.heap[i])
+		}
+	}
+}

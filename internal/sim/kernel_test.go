@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -252,6 +253,149 @@ func TestTimeString(t *testing.T) {
 	}
 }
 
+// Handles must not leak across payload reuse: after an event fires and
+// its pooled payload is recycled into a new event, the stale handle must
+// report not-pending and refuse to cancel the new event.
+func TestKernelStaleHandleAfterReuse(t *testing.T) {
+	k := New(1)
+	h1 := k.At(1, func() {})
+	k.Run()
+	if h1.Pending() {
+		t.Fatal("handle pending after event fired")
+	}
+	if h1.Cancel() {
+		t.Fatal("cancel of fired event reported true")
+	}
+	// The pool now holds h1's payload; this schedule reuses it.
+	fired := false
+	h2 := k.At(2, func() { fired = true })
+	if h1.Cancel() {
+		t.Fatal("stale handle cancelled a reused payload")
+	}
+	if h1.Pending() {
+		t.Fatal("stale handle reports pending for reused payload")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("event cancelled through a stale handle")
+	}
+	if h2.Pending() {
+		t.Fatal("fired handle still pending")
+	}
+}
+
+// Cancelling the majority of a large heap triggers compaction; the
+// remaining events must still fire in order and the heap must shrink.
+func TestKernelCompaction(t *testing.T) {
+	k := New(1)
+	const n = 1000
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		i := i
+		handles[i] = k.At(Time(i+1), func() {})
+	}
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			handles[i].Cancel()
+		}
+	}
+	if got := k.Pending(); got > n/10+compactMin {
+		t.Fatalf("heap not compacted: %d entries pending for %d live", got, n/10)
+	}
+	var fired []Time
+	prev := Time(-1)
+	k.At(0, func() {}) // anchor so Run starts at 0
+	for k.Step() {
+		if k.Now() < prev {
+			t.Fatalf("time went backwards after compaction: %v < %v", k.Now(), prev)
+		}
+		prev = k.Now()
+		fired = append(fired, k.Now())
+	}
+	if int(k.Fired()) != n/10+1 {
+		t.Fatalf("fired %d events, want %d survivors", k.Fired(), n/10+1)
+	}
+	_ = fired
+}
+
+// Events scheduled at the current time (the After(0) fast path) must fire
+// after heap events already due at that time, in FIFO order, and before
+// anything later.
+func TestKernelSameTimeFastPathOrdering(t *testing.T) {
+	k := New(1)
+	var got []string
+	k.At(10, func() {
+		got = append(got, "A")
+		// Scheduled while now==10: fast path. Must run after B (heap
+		// entry at 10 with smaller seq) but before D (t=11).
+		k.At(10, func() { got = append(got, "C1") })
+		k.After(0, func() { got = append(got, "C2") })
+	})
+	k.At(10, func() { got = append(got, "B") })
+	k.At(11, func() { got = append(got, "D") })
+	k.Run()
+	want := "A B C1 C2 D"
+	if s := strings.Join(got, " "); s != want {
+		t.Fatalf("order = %q, want %q", s, want)
+	}
+}
+
+// Cancelling a fast-path (same-time) event must prevent it firing.
+func TestKernelCancelFastPathEvent(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.At(5, func() {
+		h := k.After(0, func() { fired = true })
+		if !h.Cancel() {
+			t.Error("cancel of fast-path event reported false")
+		}
+	})
+	k.Run()
+	if fired {
+		t.Fatal("cancelled fast-path event fired")
+	}
+	if k.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", k.Fired())
+	}
+}
+
+// RunUntil must honour fast-path events queued at the boundary time.
+func TestKernelRunUntilWithFastPath(t *testing.T) {
+	k := New(1)
+	var got []Time
+	k.At(2, func() {
+		k.After(0, func() { got = append(got, k.Now()) })
+	})
+	k.At(3, func() { got = append(got, k.Now()) })
+	k.RunUntil(2)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("RunUntil(2) fired %v, want the nested same-time event", got)
+	}
+	k.Run()
+	if len(got) != 2 || got[1] != 3 {
+		t.Fatalf("remaining events lost: %v", got)
+	}
+}
+
+// The event pool must not grow with total events, only with peak
+// concurrency: a long chain of one-pending-event steps allocates O(1).
+func TestKernelPoolReuse(t *testing.T) {
+	k := New(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < 10000 {
+			k.After(1, fn)
+		}
+	}
+	k.After(1, fn)
+	k.Run()
+	if len(k.free) > 4 {
+		t.Fatalf("free list has %d payloads for a 1-deep chain", len(k.free))
+	}
+}
+
 func BenchmarkKernelEventThroughput(b *testing.B) {
 	k := New(1)
 	rng := rand.New(rand.NewSource(7))
@@ -261,6 +405,44 @@ func BenchmarkKernelEventThroughput(b *testing.B) {
 		if n < b.N {
 			n++
 			k.After(Time(rng.Float64()), fn)
+		}
+	}
+	b.ReportAllocs()
+	k.After(0, fn)
+	k.Run()
+}
+
+// BenchmarkKernelSameTimeEvents exercises the After(0) fast path that
+// dominates proc handoff (Resume/Interrupt/Go).
+func BenchmarkKernelSameTimeEvents(b *testing.B) {
+	k := New(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		if n < b.N {
+			n++
+			k.After(0, fn)
+		}
+	}
+	b.ReportAllocs()
+	k.After(0, fn)
+	k.Run()
+}
+
+// BenchmarkKernelCancelHeavy models timeout-style workloads where most
+// scheduled events are cancelled before firing, exercising lazy deletion
+// and compaction.
+func BenchmarkKernelCancelHeavy(b *testing.B) {
+	k := New(1)
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	var fn func()
+	fn = func() {
+		if n < b.N {
+			n++
+			h := k.After(Time(1+rng.Float64()), func() {}) // timeout, usually cancelled
+			k.After(Time(rng.Float64()), fn)
+			h.Cancel()
 		}
 	}
 	b.ReportAllocs()

@@ -472,7 +472,18 @@ type ExperimentTable = experiments.Table
 // Experiments returns the full E1-E12 suite.
 func Experiments() []experiments.Spec { return experiments.All() }
 
-// RunExperiments executes the whole suite, printing tables to w.
+// RunExperiments executes the whole suite sequentially, printing tables
+// to w. It is RunExperimentsParallel with one worker.
 func RunExperiments(w io.Writer, quick bool) ([]*ExperimentTable, error) {
 	return experiments.RunAll(w, quick)
+}
+
+// RunExperimentsParallel executes the whole suite on a bounded worker
+// pool (workers <= 0 selects one per CPU), printing tables to w in suite
+// order. The experiments are independent, so output bytes are identical
+// for any worker count; only wall clock changes. A failing experiment
+// does not stop the others: its slot in the returned slice is nil and
+// the joined error names it.
+func RunExperimentsParallel(w io.Writer, quick bool, workers int) ([]*ExperimentTable, error) {
+	return experiments.RunAllParallel(w, quick, workers)
 }

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate BENCH_runner.json (kernel throughput + suite wall clock) and
+# print the go-test microbenchmarks for cross-checking. Run from the repo
+# root. Wall-clock numbers are host-dependent: compare only runs from the
+# same machine. See EXPERIMENTS.md "Performance" for the JSON format.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go test microbenchmarks (cross-check) =="
+go test -run '^$' -bench 'BenchmarkKernel' -benchmem ./internal/sim/
+
+echo "== BENCH_runner.json =="
+go run ./cmd/bench "$@"
