@@ -29,17 +29,22 @@ import (
 	"time"
 
 	"northstar/internal/experiments"
+	"northstar/internal/obs"
 	"northstar/internal/sim"
 )
 
-// Report is the schema of BENCH_runner.json.
+// Report is the schema of BENCH_runner.json. Kernel is the unobserved
+// (nil-probe) hot path; KernelProbed repeats the measurement with an
+// obs.KernelProbe attached, pinning the enabled-observability overhead
+// and proving the disabled path stays allocation-free.
 type Report struct {
-	Schema    string    `json:"schema"`
-	Generated string    `json:"generated_by"`
-	Host      HostInfo  `json:"host"`
-	Kernel    KernelRes `json:"kernel"`
-	Suite     SuiteRes  `json:"suite"`
-	Seed      *SeedRef  `json:"seed_baseline,omitempty"`
+	Schema       string    `json:"schema"`
+	Generated    string    `json:"generated_by"`
+	Host         HostInfo  `json:"host"`
+	Kernel       KernelRes `json:"kernel"`
+	KernelProbed KernelRes `json:"kernel_probed"`
+	Suite        SuiteRes  `json:"suite"`
+	Seed         *SeedRef  `json:"seed_baseline,omitempty"`
 }
 
 // HostInfo identifies the measuring host; wall-clock numbers are only
@@ -98,7 +103,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:    "northstar-bench/v1",
+		Schema:    "northstar-bench/v2",
 		Generated: "go run ./cmd/bench (see scripts/bench.sh)",
 		Host: HostInfo{
 			Go:         runtime.Version(),
@@ -110,8 +115,14 @@ func main() {
 		Seed: &seedBaseline,
 	}
 
-	fmt.Fprintf(os.Stderr, "bench: kernel throughput (%d events)...\n", *events)
-	rep.Kernel = benchKernel(*events)
+	fmt.Fprintf(os.Stderr, "bench: kernel throughput (%d events, nil probe)...\n", *events)
+	rep.Kernel = benchKernel(*events, nil)
+	fmt.Fprintf(os.Stderr, "bench: kernel throughput (%d events, counting probe)...\n", *events)
+	probe := obs.NewKernelProbe()
+	rep.KernelProbed = benchKernel(*events, probe)
+	if got := int(probe.Fired()); got != *events+1 {
+		fatal(fmt.Errorf("probe counted %d fired events, want %d", got, *events+1))
+	}
 
 	workers := *par
 	if workers <= 0 {
@@ -141,16 +152,20 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event, %.2f allocs/event; suite %.2fs -> %.2fs, %.2fx)\n",
-		*out, rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent,
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event nil probe, %.1f probed, %.2f allocs/event; suite %.2fs -> %.2fs, %.2fx)\n",
+		*out, rep.Kernel.NsPerEvent, rep.KernelProbed.NsPerEvent, rep.Kernel.AllocsPerEvent,
 		rep.Suite.SequentialSeconds, rep.Suite.ParallelSeconds, rep.Suite.Speedup)
 }
 
 // benchKernel mirrors BenchmarkKernelEventThroughput (internal/sim): a
 // self-rescheduling event chain with random future offsets, measured with
-// memstats deltas so it needs no testing harness.
-func benchKernel(events int) KernelRes {
+// memstats deltas so it needs no testing harness. A non-nil probe is
+// attached before the run (the kernel_probed measurement).
+func benchKernel(events int, probe *obs.KernelProbe) KernelRes {
 	k := sim.New(1)
+	if probe != nil {
+		k.SetProbe(probe)
+	}
 	rng := rand.New(rand.NewSource(7))
 	n := 0
 	var fn func()

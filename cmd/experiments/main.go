@@ -3,72 +3,148 @@
 //
 // Usage:
 //
-//	experiments               # run everything, parallel across CPUs
-//	experiments -par 1        # sequential (same bytes, slower)
-//	experiments -par 4        # bounded worker pool
-//	experiments -quick        # CI-scale sweeps
-//	experiments -id E7        # one experiment
-//	experiments -csv out/     # also write one CSV per table into out/
+//	experiments                   # run everything, parallel across CPUs
+//	experiments -par 1            # sequential (same bytes, slower)
+//	experiments -par 4            # bounded worker pool
+//	experiments -quick            # CI-scale sweeps
+//	experiments -id E7            # one experiment
+//	experiments -csv out/         # also write one CSV per table into out/
+//	experiments -progress         # live per-spec status lines on stderr
+//	experiments -trace t.json     # Chrome trace_event JSON (Perfetto)
+//	experiments -metrics m.json   # metrics snapshot JSON
+//	experiments -cpuprofile p.out # pprof CPU profile of the run
+//	experiments -memprofile m.out # pprof heap profile after the run
 //
 // Tables always print in suite order (E1 … X7) regardless of -par; every
 // number in them is virtual time, so the bytes are identical for any
-// worker count. If an experiment fails, the remaining experiments still
-// run and print, the failures are reported on stderr, and the exit status
-// is non-zero.
+// worker count — and for any combination of observability flags, which
+// write only to their own files and stderr. If an experiment fails, the
+// remaining experiments still run and print, the failures are reported on
+// stderr, and the exit status is non-zero. A write error on stdout (for
+// example a broken pipe) is likewise fatal rather than silently
+// truncating tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
 
 	"northstar/internal/experiments"
+	"northstar/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
+	// Without a handler, Go re-raises SIGPIPE on a broken stdout and the
+	// process dies mid-table with no diagnostic. Catching it turns the
+	// broken pipe into an EPIPE write error that propagates through
+	// Table.Fprint and the runner to a clean non-zero exit.
+	signal.Notify(make(chan os.Signal, 1), syscall.SIGPIPE)
 	quick := flag.Bool("quick", false, "shrink sweeps for fast runs")
 	id := flag.String("id", "", "run only this experiment (e.g. E7)")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	par := flag.Int("par", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
+	metricsFile := flag.String("metrics", "", "write a metrics snapshot JSON to this file")
+	progress := flag.Bool("progress", false, "print live per-spec status lines to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
-	var tables []*experiments.Table
-	var runErr error
+	// Observability is opt-in: with no obs flags the runner sees a nil
+	// observer and the kernels keep their nil probes.
+	var observer *obs.SuiteObserver
+	var trace *obs.Trace
+	if *traceFile != "" || *metricsFile != "" || *progress {
+		if *traceFile != "" {
+			trace = obs.NewTrace()
+		}
+		var progressW *os.File
+		if *progress {
+			progressW = os.Stderr
+		}
+		observer = obs.NewSuiteObserver(nil, trace, progressW)
+	}
+
+	specs := experiments.All()
 	if *id != "" {
 		s, err := experiments.ByID(*id)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		t, err := s.Run(*quick)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", s.ID, err))
-		}
-		t.Fprint(os.Stdout)
-		tables = []*experiments.Table{t}
-	} else {
-		tables, runErr = experiments.RunAllParallel(os.Stdout, *quick, *par)
+		specs = []experiments.Spec{s}
 	}
+	opts := experiments.Options{Quick: *quick, Workers: *par, Observer: observer}
+	if observer != nil {
+		opts.Summary = os.Stderr
+	}
+	tables, runErr := experiments.RunSpecs(os.Stdout, specs, opts)
 
+	status := 0
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		status = 1
+	}
 	if *csvDir != "" {
 		for _, t := range tables {
 			if t == nil {
 				continue // failed experiment; reported via runErr
 			}
 			if err := writeCSV(*csvDir, t); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 	}
-	if runErr != nil {
-		fatal(runErr)
+	if trace != nil {
+		if err := writeFileWith(*traceFile, trace.WriteJSON); err != nil {
+			return fail(err)
+		}
 	}
+	if observer != nil && *metricsFile != "" {
+		if err := writeFileWith(*metricsFile, observer.Registry().WriteJSON); err != nil {
+			return fail(err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	return status
 }
 
 func writeCSV(dir string, t *experiments.Table) error {
@@ -83,7 +159,19 @@ func writeCSV(dir string, t *experiments.Table) error {
 	return f.Close()
 }
 
-func fatal(err error) {
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return 1
 }

@@ -34,7 +34,9 @@ func TestTableBasics(t *testing.T) {
 		t.Error("missing row accepted")
 	}
 	var buf bytes.Buffer
-	tab.Fprint(&buf)
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatalf("Fprint to buffer: %v", err)
+	}
 	if !strings.Contains(buf.String(), "== T: test ==") {
 		t.Errorf("Fprint output:\n%s", buf.String())
 	}
@@ -64,6 +66,15 @@ func TestByID(t *testing.T) {
 	}
 	if _, err := ByID("E99"); err == nil {
 		t.Fatal("unknown id accepted")
+	} else if !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("unknown-id error %q does not name the id", err)
+	}
+	// IDs are case-sensitive and never match partially.
+	if _, err := ByID("e7"); err == nil {
+		t.Fatal("lowercase id accepted")
+	}
+	if _, err := ByID(""); err == nil {
+		t.Fatal("empty id accepted")
 	}
 }
 

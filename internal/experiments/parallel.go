@@ -6,7 +6,30 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
+
+	"northstar/internal/obs"
 )
+
+// Options configures a suite run beyond the output writer.
+type Options struct {
+	// Quick shrinks each experiment's sweeps to CI scale.
+	Quick bool
+	// Workers sets the pool size: <= 0 selects runtime.GOMAXPROCS(0),
+	// 1 runs everything on the calling goroutine (the sequential path).
+	Workers int
+	// Observer, when non-nil, instruments the run: per-spec wall clock,
+	// kernel event counts, trace slices, and live progress lines. The
+	// observer never writes to the table stream, so stdout stays
+	// byte-identical with or without one. Only one observed run may be
+	// in flight at a time (the kernel hook is process-global).
+	Observer *obs.SuiteObserver
+	// Summary, when non-nil (and Observer is set), receives a
+	// suite-summary table — per-spec wall clock, events fired, peak
+	// pending — after the ordered table stream completes. Point it at
+	// stderr to keep stdout canonical.
+	Summary io.Writer
+}
 
 // RunAllParallel executes the full experiment suite on a bounded worker
 // pool and prints each table to w in suite order (E1 … X7) as soon as it
@@ -21,15 +44,26 @@ import (
 // the experiments after it: all specs run to completion, failed ones
 // print nothing, and the returned slice holds one slot per spec in suite
 // order with nil marking failures. The returned error joins every
-// per-experiment failure (nil if all succeeded).
+// per-experiment failure and any table write error (nil if all
+// succeeded).
 func RunAllParallel(w io.Writer, quick bool, workers int) ([]*Table, error) {
-	return runSpecs(w, All(), quick, workers)
+	return RunSpecs(w, All(), Options{Quick: quick, Workers: workers})
 }
 
-func runSpecs(w io.Writer, specs []Spec, quick bool, workers int) ([]*Table, error) {
+// RunSuite executes the full suite with the given options.
+func RunSuite(w io.Writer, opts Options) ([]*Table, error) {
+	return RunSpecs(w, All(), opts)
+}
+
+// RunSpecs executes the given specs with the semantics of RunAllParallel:
+// bounded worker pool, ordered streaming output, partial-failure
+// reporting, optional observability.
+func RunSpecs(w io.Writer, specs []Spec, opts Options) ([]*Table, error) {
 	tables := make([]*Table, len(specs))
 	errs := make([]error, len(specs))
+	specObs := make([]*obs.SpecObs, len(specs))
 
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -37,8 +71,24 @@ func runSpecs(w io.Writer, specs []Spec, quick bool, workers int) ([]*Table, err
 		workers = len(specs)
 	}
 
-	runOne := func(i int) {
-		t, err := specs[i].Run(quick)
+	if opts.Observer != nil {
+		opts.Observer.Begin(len(specs), workers)
+		defer opts.Observer.End()
+	}
+
+	// runOne executes spec i on the calling goroutine, which must be the
+	// goroutine of the given worker: the observer binds the spec's kernel
+	// probe to it for the duration of the Run call.
+	runOne := func(i, worker int) {
+		var so *obs.SpecObs
+		if opts.Observer != nil {
+			so = opts.Observer.StartSpec(specs[i].ID, specs[i].Title, worker)
+			specObs[i] = so
+		}
+		t, err := specs[i].Run(opts.Quick)
+		if so != nil {
+			so.Done(err)
+		}
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: %s failed: %w", specs[i].ID, err)
 			return
@@ -46,14 +96,25 @@ func runSpecs(w io.Writer, specs []Spec, quick bool, workers int) ([]*Table, err
 		tables[i] = t
 	}
 
+	// print streams table i if the writer is still healthy; after the
+	// first write error it stops printing but the remaining specs still
+	// run, so failures and metrics stay complete.
+	var werr error
+	print := func(i int) {
+		if tables[i] == nil || werr != nil {
+			return
+		}
+		if err := tables[i].Fprint(w); err != nil {
+			werr = fmt.Errorf("experiments: writing %s table: %w", specs[i].ID, err)
+		}
+	}
+
 	if workers == 1 {
 		for i := range specs {
-			runOne(i)
-			if tables[i] != nil {
-				tables[i].Fprint(w)
-			}
+			runOne(i, 0)
+			print(i)
 		}
-		return tables, errors.Join(errs...)
+		return tables, finish(w, specs, specObs, opts, errs, werr)
 	}
 
 	// Each spec gets a result slot and a done signal; workers fill slots
@@ -67,13 +128,13 @@ func runSpecs(w io.Writer, specs []Spec, quick bool, workers int) ([]*Table, err
 	var wg sync.WaitGroup
 	for n := 0; n < workers; n++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				runOne(i)
+				runOne(i, worker)
 				close(done[i])
 			}
-		}()
+		}(n)
 	}
 	go func() {
 		for i := range specs {
@@ -84,9 +145,49 @@ func runSpecs(w io.Writer, specs []Spec, quick bool, workers int) ([]*Table, err
 	}()
 	for i := range specs {
 		<-done[i]
-		if tables[i] != nil {
-			tables[i].Fprint(w)
+		print(i)
+	}
+	return tables, finish(w, specs, specObs, opts, errs, werr)
+}
+
+// finish assembles the run's error and, when observing, appends the
+// suite-summary table after the ordered stream.
+func finish(w io.Writer, specs []Spec, specObs []*obs.SpecObs, opts Options, errs []error, werr error) error {
+	if opts.Observer != nil && opts.Summary != nil {
+		if err := SummaryTable(specs, specObs).Fprint(opts.Summary); err != nil {
+			werr = errors.Join(werr, fmt.Errorf("experiments: writing summary table: %w", err))
 		}
 	}
-	return tables, errors.Join(errs...)
+	return errors.Join(errors.Join(errs...), werr)
+}
+
+// SummaryTable builds the suite-summary table from per-spec observations:
+// host wall clock, events fired, peak pending queue depth, same-time
+// fast-path share, and status. Slots of specObs may be nil (unobserved).
+func SummaryTable(specs []Spec, specObs []*obs.SpecObs) *Table {
+	t := &Table{
+		ID:      "suite",
+		Title:   "observability summary",
+		Columns: []string{"id", "wall", "events", "peak pending", "fastpath %", "status"},
+	}
+	for i, s := range specs {
+		so := specObs[i]
+		if so == nil {
+			t.AddRow(s.ID, "-", "-", "-", "-", "unobserved")
+			continue
+		}
+		p := so.Probe()
+		fast := 0.0
+		if p.Scheduled() > 0 {
+			fast = 100 * float64(p.FastPathHits()) / float64(p.Scheduled())
+		}
+		status := "ok"
+		if so.Failed() {
+			status = "FAILED"
+		}
+		t.AddRow(s.ID, so.Wall().Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", p.Fired()), fmt.Sprintf("%d", p.PeakPending()),
+			fmt.Sprintf("%.1f", fast), status)
+	}
+	return t
 }

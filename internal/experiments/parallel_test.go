@@ -4,8 +4,28 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
+
+	"northstar/internal/obs"
+	"northstar/internal/sim"
 )
+
+// newTestKernel returns a kernel whose run fires exactly events+1 events
+// (a self-rescheduling chain plus its seed event).
+func newTestKernel(events int) *sim.Kernel {
+	k := sim.New(1)
+	n := 0
+	var fn func()
+	fn = func() {
+		if n < events {
+			n++
+			k.After(sim.Microsecond, fn)
+		}
+	}
+	k.After(0, fn)
+	return k
+}
 
 // Every experiment ID must be unique: ByID's index and the parallel
 // runner's result slots both key on it.
@@ -75,7 +95,7 @@ func TestRunSpecsPartialFailure(t *testing.T) {
 	}
 	for _, workers := range []int{1, 3} {
 		var buf bytes.Buffer
-		tabs, err := runSpecs(&buf, specs, true, workers)
+		tabs, err := RunSpecs(&buf, specs, Options{Quick: true, Workers: workers})
 		if err == nil {
 			t.Fatalf("workers=%d: no error for failing spec", workers)
 		}
@@ -109,7 +129,7 @@ func TestRunSpecsOrderedStreaming(t *testing.T) {
 	}
 	specs := []Spec{mk("A"), mk("B"), mk("C"), mk("D")}
 	var buf bytes.Buffer
-	if _, err := runSpecs(&buf, specs, true, 4); err != nil {
+	if _, err := RunSpecs(&buf, specs, Options{Quick: true, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	order := []int{
@@ -123,4 +143,134 @@ func TestRunSpecsOrderedStreaming(t *testing.T) {
 			t.Fatalf("tables out of suite order: offsets %v\n%s", order, buf.String())
 		}
 	}
+}
+
+// brokenWriter fails every write after the first n bytes, like a pipe
+// whose reader went away mid-stream.
+type brokenWriter struct {
+	n       int
+	written int
+}
+
+var errPipe = errors.New("broken pipe")
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	if b.written >= b.n {
+		return 0, errPipe
+	}
+	b.written += len(p)
+	return len(p), nil
+}
+
+// A write error on the table stream must surface in the returned error
+// instead of printing truncated tables as if the run succeeded.
+func TestRunSpecsWriteError(t *testing.T) {
+	mk := func(id string) Spec {
+		return Spec{ID: id, Title: id, Run: func(bool) (*Table, error) {
+			tab := &Table{ID: id, Title: id, Columns: []string{"v"}}
+			tab.AddRow(id)
+			return tab, nil
+		}}
+	}
+	specs := []Spec{mk("A"), mk("B"), mk("C")}
+	for _, workers := range []int{1, 3} {
+		w := &brokenWriter{n: 10} // dies inside the first table
+		tabs, err := RunSpecs(w, specs, Options{Quick: true, Workers: workers})
+		if !errors.Is(err, errPipe) {
+			t.Fatalf("workers=%d: error %v does not wrap the write failure", workers, err)
+		}
+		// The specs themselves all ran: results are intact even though
+		// printing stopped.
+		for i, tab := range tabs {
+			if tab == nil {
+				t.Fatalf("workers=%d: spec %d result dropped on write error", workers, i)
+			}
+		}
+	}
+}
+
+// With an observer attached, the table stream must stay byte-identical:
+// observability writes only to its own sinks.
+func TestRunSpecsObservedOutputIdentical(t *testing.T) {
+	mk := func(id string) Spec {
+		return Spec{ID: id, Title: id, Run: func(bool) (*Table, error) {
+			tab := &Table{ID: id, Title: id, Columns: []string{"v"}}
+			tab.AddRow(id)
+			return tab, nil
+		}}
+	}
+	specs := []Spec{mk("A"), mk("B"), mk("C"), mk("D")}
+	var plain bytes.Buffer
+	if _, err := RunSpecs(&plain, specs, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var observed, progress, summary bytes.Buffer
+	observer := obs.NewSuiteObserver(nil, obs.NewTrace(), &progress)
+	_, err := RunSpecs(&observed, specs, Options{Workers: 2, Observer: observer, Summary: &summary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), observed.Bytes()) {
+		t.Fatalf("observed table stream differs from plain run:\n%s\nvs\n%s", observed.String(), plain.String())
+	}
+	for _, id := range []string{"A", "B", "C", "D"} {
+		if !strings.Contains(progress.String(), id) {
+			t.Errorf("progress output missing spec %s:\n%s", id, progress.String())
+		}
+		if !strings.Contains(summary.String(), id) {
+			t.Errorf("summary table missing spec %s:\n%s", id, summary.String())
+		}
+	}
+	if !strings.Contains(summary.String(), "observability summary") {
+		t.Errorf("summary table header missing:\n%s", summary.String())
+	}
+}
+
+// The observer must attribute kernel events to the right spec even when
+// specs run concurrently on different workers.
+func TestRunSpecsObserverAttribution(t *testing.T) {
+	mkSim := func(id string, events int) Spec {
+		return Spec{ID: id, Title: id, Run: func(bool) (*Table, error) {
+			k := newTestKernel(events)
+			k.Run()
+			tab := &Table{ID: id, Title: id, Columns: []string{"v"}}
+			tab.AddRow(id)
+			return tab, nil
+		}}
+	}
+	specs := []Spec{mkSim("S1", 100), mkSim("S2", 2000), mkSim("S3", 50)}
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	var buf bytes.Buffer
+	if _, err := RunSpecs(&buf, specs, Options{Workers: 3, Observer: observer}); err != nil {
+		t.Fatal(err)
+	}
+	reg := observer.Registry()
+	for _, want := range []struct {
+		id     string
+		events int64
+	}{{"S1", 101}, {"S2", 2001}, {"S3", 51}} {
+		if got := reg.Scope(want.id).Counter("events_fired"); got != want.events {
+			t.Errorf("scope %s events_fired = %d, want %d", want.id, got, want.events)
+		}
+	}
+	if got := reg.Scope("suite").Counter("events_fired"); got != 101+2001+51 {
+		t.Errorf("suite events_fired = %d, want %d", got, 101+2001+51)
+	}
+}
+
+// ByID's lazily built index must be safe under concurrent first use.
+func TestByIDConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, id := range []string{"E1", "X7", "E6b"} {
+				if _, err := ByID(id); err != nil {
+					t.Errorf("ByID(%q): %v", id, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

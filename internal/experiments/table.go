@@ -61,8 +61,12 @@ func formatFloat(v float64) string {
 	}
 }
 
-// Fprint writes the table as aligned text.
-func (t *Table) Fprint(w io.Writer) {
+// Fprint writes the table as aligned text. It returns the first write
+// error: a broken pipe must surface as a failure, not a silently
+// truncated table.
+func (t *Table) Fprint(w io.Writer) error {
+	ew := &errWriter{w: w}
+	w = ew
 	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
@@ -99,12 +103,31 @@ func (t *Table) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+	return ew.err
+}
+
+// errWriter latches the first write error and swallows all writes after
+// it, so Fprint can use plain fmt calls and still report broken pipes.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
 }
 
 // String renders the table as text.
 func (t *Table) String() string {
 	var b strings.Builder
-	t.Fprint(&b)
+	t.Fprint(&b) // a strings.Builder write cannot fail
 	return b.String()
 }
 

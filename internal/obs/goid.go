@@ -1,0 +1,24 @@
+package obs
+
+import "runtime"
+
+// goid returns the current goroutine's id, parsed from the runtime.Stack
+// header ("goroutine 123 [running]: …"). The suite observer keys kernel
+// probes by goroutine: a worker binds its probe before calling a spec's
+// Run function, and every sim.New on that goroutine — however deep inside
+// machine/network/sched constructors — attaches it. Parsing a stack
+// header costs on the order of a microsecond, which is fine here because
+// it happens per kernel construction and per spec, never per event.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"northstar/internal/stats"
+)
+
+// Registry is a concurrency-safe collection of named metric scopes. Each
+// experiment gets its own scope; suite-wide totals live in a "suite"
+// scope. Scopes hold counters (monotonic int64), gauges (last- or
+// max-value float64), and fixed-bucket histograms (stats.Histogram).
+//
+// Registries are cheap: an idle registry is a map and a mutex. The hot
+// simulation path never touches one — KernelProbe accumulates in plain
+// fields and publishes to a scope once per experiment.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scopes: make(map[string]*Scope)}
+}
+
+// Scope returns the scope with the given name, creating it on first use.
+func (r *Registry) Scope(name string) *Scope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.scopes[name]
+	if !ok {
+		s = &Scope{
+			name:     name,
+			counters: make(map[string]int64),
+			gauges:   make(map[string]float64),
+			hists:    make(map[string]*stats.Histogram),
+		}
+		r.scopes[name] = s
+	}
+	return s
+}
+
+// Scope is one named group of metrics. Methods are safe for concurrent
+// use, but a scope is typically written by a single suite worker.
+type Scope struct {
+	mu       sync.Mutex
+	name     string
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*stats.Histogram
+}
+
+// Name returns the scope's name.
+func (s *Scope) Name() string { return s.name }
+
+// Add increments the named counter by delta, creating it at zero first.
+func (s *Scope) Add(name string, delta int64) {
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// Counter returns the current value of the named counter (zero if unset).
+func (s *Scope) Counter(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Set sets the named gauge to v.
+func (s *Scope) Set(name string, v float64) {
+	s.mu.Lock()
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// Max raises the named gauge to v if v exceeds its current value (an
+// unset gauge is created at v).
+func (s *Scope) Max(name string, v float64) {
+	s.mu.Lock()
+	if cur, ok := s.gauges[name]; !ok || v > cur {
+		s.gauges[name] = v
+	}
+	s.mu.Unlock()
+}
+
+// Gauge returns the current value of the named gauge (zero if unset).
+func (s *Scope) Gauge(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gauges[name]
+}
+
+// PutHistogram publishes h under the given name. The scope takes
+// ownership for snapshot purposes; callers must not keep adding to h
+// concurrently with Snapshot.
+func (s *Scope) PutHistogram(name string, h *stats.Histogram) {
+	s.mu.Lock()
+	s.hists[name] = h
+	s.mu.Unlock()
+}
+
+// ---- snapshots ----
+
+// Snapshot is a stable, encodable view of a registry. Scopes are sorted
+// by name and map keys encode in sorted order, so two snapshots of
+// identical metric state produce identical bytes.
+type Snapshot struct {
+	Schema string          `json:"schema"`
+	Scopes []ScopeSnapshot `json:"scopes"`
+}
+
+// ScopeSnapshot is the stable view of one scope.
+type ScopeSnapshot struct {
+	Name       string                       `json:"name"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the stable view of one histogram; only non-empty
+// buckets are listed.
+type HistogramSnapshot struct {
+	Count     int              `json:"count"`
+	Underflow int              `json:"underflow,omitempty"`
+	Overflow  int              `json:"overflow,omitempty"`
+	Buckets   []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket [Lo, Hi).
+type BucketSnapshot struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	N  int     `json:"n"`
+}
+
+// SnapshotSchema identifies the metrics snapshot encoding; bump on
+// incompatible change.
+const SnapshotSchema = "northstar-metrics/v1"
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.scopes))
+	for name := range r.scopes {
+		names = append(names, name)
+	}
+	scopes := make([]*Scope, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		scopes = append(scopes, r.scopes[name])
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Schema: SnapshotSchema}
+	for _, s := range scopes {
+		snap.Scopes = append(snap.Scopes, s.snapshot())
+	}
+	return snap
+}
+
+func (s *Scope) snapshot() ScopeSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := ScopeSnapshot{Name: s.name}
+	if len(s.counters) > 0 {
+		ss.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			ss.Counters[k] = v
+		}
+	}
+	if len(s.gauges) > 0 {
+		ss.Gauges = make(map[string]float64, len(s.gauges))
+		for k, v := range s.gauges {
+			ss.Gauges[k] = v
+		}
+	}
+	if len(s.hists) > 0 {
+		ss.Histograms = make(map[string]HistogramSnapshot, len(s.hists))
+		for k, h := range s.hists {
+			ss.Histograms[k] = snapshotHistogram(h)
+		}
+	}
+	return ss
+}
+
+func snapshotHistogram(h *stats.Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count:     h.Count(),
+		Underflow: h.Underflow(),
+		Overflow:  h.Overflow(),
+		Buckets:   []BucketSnapshot{},
+	}
+	for i := 0; i < h.Buckets(); i++ {
+		if n := h.Bucket(i); n > 0 {
+			lo, hi := h.BucketBounds(i)
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{Lo: lo, Hi: hi, N: n})
+		}
+	}
+	return hs
+}
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json sorts map
+// keys, so the bytes are stable for identical metric state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// WriteText writes the snapshot as aligned "scope.metric value" lines in
+// sorted order, for eyeballing.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, sc := range r.Snapshot().Scopes {
+		for _, k := range sortedKeys(sc.Counters) {
+			if _, err := fmt.Fprintf(w, "%s.%s %d\n", sc.Name, k, sc.Counters[k]); err != nil {
+				return err
+			}
+		}
+		for _, k := range sortedKeys(sc.Gauges) {
+			if _, err := fmt.Fprintf(w, "%s.%s %g\n", sc.Name, k, sc.Gauges[k]); err != nil {
+				return err
+			}
+		}
+		for _, k := range sortedKeys(sc.Histograms) {
+			h := sc.Histograms[k]
+			if _, err := fmt.Fprintf(w, "%s.%s count=%d buckets=%d\n", sc.Name, k, h.Count, len(h.Buckets)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

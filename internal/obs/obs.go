@@ -1,0 +1,191 @@
+// Package obs is the observability layer for the simulation stack: a
+// kernel probe (KernelProbe, implementing sim.Probe), a metrics registry
+// with per-experiment scopes and stable JSON/text snapshots (Registry),
+// a Chrome trace_event writer loadable in Perfetto (Trace), and a suite
+// observer (SuiteObserver) that wires all three through the experiment
+// runner.
+//
+// The layer costs nothing when disabled: an unobserved sim.Kernel holds a
+// nil probe behind a single nil-check per hook site, and the runner skips
+// every observer call when no observer is configured. cmd/bench records
+// both the nil-probe and attached-probe kernel throughput in
+// BENCH_runner.json to keep that claim honest.
+//
+// Attribution works by goroutine: each suite worker binds its experiment's
+// KernelProbe to its own goroutine id before calling the spec's Run
+// function, and a process-global sim.SetKernelHook attaches the bound
+// probe to every kernel the spec constructs, however deep inside
+// machine/network/sched code. Experiments run synchronously on their
+// worker goroutine, so the binding is exact. One observed suite runs at a
+// time (the hook is process-global).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"northstar/internal/sim"
+)
+
+// SuiteObserver instruments one experiment-suite run. Construct with
+// NewSuiteObserver, hand it to the runner (experiments.Options.Observer),
+// and after the run encode Registry and Trace wherever they should go.
+// Any of the three outputs may be nil-equivalent: a Registry is always
+// kept (it is cheap), Trace may be nil, Progress may be nil.
+type SuiteObserver struct {
+	registry *Registry
+	trace    *Trace
+	progress io.Writer
+
+	start time.Time
+	total int
+
+	mu          sync.Mutex
+	done        int
+	totalFired  uint64
+	totalEvents uint64
+
+	binding sync.Map // goroutine id (uint64) -> *KernelProbe
+}
+
+// NewSuiteObserver returns an observer writing metrics into registry
+// (created fresh if nil), trace events into trace (may be nil), and live
+// per-spec progress lines to progress (may be nil; typically os.Stderr —
+// never the suite's stdout stream, which must stay byte-identical).
+func NewSuiteObserver(registry *Registry, trace *Trace, progress io.Writer) *SuiteObserver {
+	if registry == nil {
+		registry = NewRegistry()
+	}
+	return &SuiteObserver{registry: registry, trace: trace, progress: progress}
+}
+
+// Registry returns the observer's metrics registry.
+func (o *SuiteObserver) Registry() *Registry { return o.registry }
+
+// Trace returns the observer's trace, or nil.
+func (o *SuiteObserver) Trace() *Trace { return o.trace }
+
+// Begin marks the suite start and installs the process-global kernel
+// hook. total is the number of specs, workers the pool size (used to name
+// trace tracks). The runner calls Begin/End; callers only construct.
+func (o *SuiteObserver) Begin(total, workers int) {
+	o.start = time.Now()
+	o.total = total
+	if o.trace != nil {
+		for w := 0; w < workers; w++ {
+			o.trace.NameThread(w, fmt.Sprintf("worker %d", w))
+		}
+	}
+	sim.SetKernelHook(o.attach)
+}
+
+// End removes the kernel hook and writes suite totals into the "suite"
+// scope (specs counter, host_seconds gauge, events_fired counter).
+func (o *SuiteObserver) End() {
+	sim.SetKernelHook(nil)
+	o.mu.Lock()
+	fired, scheduled := o.totalFired, o.totalEvents
+	o.mu.Unlock()
+	s := o.registry.Scope("suite")
+	s.Add("specs", int64(o.total))
+	s.Add("events_fired", int64(fired))
+	s.Add("events_scheduled", int64(scheduled))
+	s.Set("host_seconds", time.Since(o.start).Seconds())
+}
+
+// attach is the sim kernel hook: it gives each new kernel the probe bound
+// to the constructing goroutine, if any.
+func (o *SuiteObserver) attach(k *sim.Kernel) {
+	if p, ok := o.binding.Load(goid()); ok {
+		k.SetProbe(p.(*KernelProbe))
+	}
+}
+
+// StartSpec begins observing one experiment. It must be called on the
+// goroutine that will run the spec (the binding is per-goroutine), with
+// the worker index that goroutine represents. The returned SpecObs must
+// be closed with Done on the same goroutine.
+func (o *SuiteObserver) StartSpec(id, title string, worker int) *SpecObs {
+	so := &SpecObs{
+		o:      o,
+		id:     id,
+		title:  title,
+		worker: worker,
+		start:  time.Now(),
+		probe:  NewKernelProbe(),
+	}
+	o.binding.Store(goid(), so.probe)
+	return so
+}
+
+// SpecObs observes one experiment execution.
+type SpecObs struct {
+	o      *SuiteObserver
+	id     string
+	title  string
+	worker int
+	start  time.Time
+	wall   time.Duration
+	failed bool
+	probe  *KernelProbe
+}
+
+// Done finishes the observation: it unbinds the probe from the goroutine,
+// publishes the experiment's metrics into the registry scope named by the
+// spec id, records a trace slice on the worker's track, and prints a
+// progress line. err is the spec's failure, nil on success.
+func (so *SpecObs) Done(err error) {
+	so.wall = time.Since(so.start)
+	so.failed = err != nil
+	o := so.o
+	o.binding.Delete(goid())
+
+	scope := o.registry.Scope(so.id)
+	so.probe.PublishTo(scope)
+	scope.Set("host_seconds", so.wall.Seconds())
+	if so.failed {
+		scope.Add("failures", 1)
+	}
+
+	if o.trace != nil {
+		o.trace.Span(so.id+": "+so.title, so.worker, so.start, so.wall, map[string]any{
+			"events_fired":    so.probe.Fired(),
+			"events_sched":    so.probe.Scheduled(),
+			"fastpath_hits":   so.probe.FastPathHits(),
+			"peak_pending":    so.probe.PeakPending(),
+			"virtual_seconds": so.probe.LastVirtualTime().Seconds(),
+			"failed":          so.failed,
+		})
+	}
+
+	o.mu.Lock()
+	o.done++
+	done := o.done
+	o.totalFired += so.probe.Fired()
+	o.totalEvents += so.probe.Scheduled()
+	o.mu.Unlock()
+
+	if o.progress != nil {
+		status := "ok"
+		if so.failed {
+			status = "FAILED: " + err.Error()
+		}
+		fmt.Fprintf(o.progress, "[%2d/%d] %-4s %-42s %10s %12d events  %s\n",
+			done, o.total, so.id, so.title,
+			so.wall.Round(time.Microsecond), so.probe.Fired(), status)
+	}
+}
+
+// ID returns the observed spec's id.
+func (so *SpecObs) ID() string { return so.id }
+
+// Wall returns the spec's host wall-clock duration (valid after Done).
+func (so *SpecObs) Wall() time.Duration { return so.wall }
+
+// Failed reports whether the spec returned an error (valid after Done).
+func (so *SpecObs) Failed() bool { return so.failed }
+
+// Probe returns the spec's kernel probe with its accumulated counters.
+func (so *SpecObs) Probe() *KernelProbe { return so.probe }

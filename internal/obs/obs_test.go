@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"northstar/internal/sim"
+)
+
+func runChain(k *sim.Kernel, events int) {
+	n := 0
+	var fn func()
+	fn = func() {
+		if n < events {
+			n++
+			k.After(sim.Microsecond, fn)
+		}
+	}
+	k.After(0, fn)
+	k.Run()
+}
+
+func TestKernelProbeCounts(t *testing.T) {
+	k := sim.New(1)
+	p := NewKernelProbe()
+	k.SetProbe(p)
+	runChain(k, 100)
+	if p.Fired() != 101 || p.Scheduled() != 101 {
+		t.Fatalf("fired=%d scheduled=%d, want 101 each", p.Fired(), p.Scheduled())
+	}
+	if p.FastPathHits() != 1 { // only the seed After(0)
+		t.Fatalf("fastPath=%d, want 1", p.FastPathHits())
+	}
+	if p.PeakPending() < 1 {
+		t.Fatalf("peakPending=%d, want >= 1", p.PeakPending())
+	}
+	if p.DepthHistogram().Count() != 101 {
+		t.Fatalf("depth histogram count=%d, want 101", p.DepthHistogram().Count())
+	}
+	if p.LastVirtualTime() <= 0 {
+		t.Fatalf("lastVT=%v, want > 0", p.LastVirtualTime())
+	}
+}
+
+func TestKernelProbePublishTo(t *testing.T) {
+	k := sim.New(1)
+	p := NewKernelProbe()
+	k.SetProbe(p)
+	h := k.At(5, func() {})
+	h.Cancel()
+	runChain(k, 10)
+
+	reg := NewRegistry()
+	scope := reg.Scope("T1")
+	p.PublishTo(scope)
+	if got := scope.Counter("events_fired"); got != 11 {
+		t.Errorf("events_fired = %d, want 11", got)
+	}
+	if got := scope.Counter("events_cancelled"); got != 1 {
+		t.Errorf("events_cancelled = %d, want 1", got)
+	}
+	if got := scope.Gauge("peak_pending"); got < 1 {
+		t.Errorf("peak_pending = %g, want >= 1", got)
+	}
+}
+
+func TestRegistrySnapshotStable(t *testing.T) {
+	reg := NewRegistry()
+	b := reg.Scope("beta")
+	a := reg.Scope("alpha")
+	a.Add("c2", 2)
+	a.Add("c1", 1)
+	a.Set("g", 3.5)
+	a.Max("g", 2.0) // must not lower
+	b.Add("n", 7)
+
+	var buf1, buf2 bytes.Buffer
+	if err := reg.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two snapshots of identical state differ")
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Scopes) != 2 || snap.Scopes[0].Name != "alpha" || snap.Scopes[1].Name != "beta" {
+		t.Fatalf("scopes not sorted: %+v", snap.Scopes)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if snap.Scopes[0].Gauges["g"] != 3.5 {
+		t.Fatalf("Max lowered gauge to %g", snap.Scopes[0].Gauges["g"])
+	}
+
+	// JSON must round-trip into a generic document (the format consumers
+	// see), with sorted scope order preserved.
+	var doc map[string]any
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+
+	var text bytes.Buffer
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "alpha.c1 1") {
+		t.Fatalf("text snapshot missing counter:\n%s", text.String())
+	}
+}
+
+func TestRegistryConcurrentScopes(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				reg.Scope("shared").Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Scope("shared").Counter("n"); got != 800 {
+		t.Fatalf("counter = %d, want 800", got)
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTrace()
+	tr.NameThread(0, "worker 0")
+	tr.Span("E1: curves", 0, tr.Start(), 1500000, map[string]any{"events_fired": 42})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev.Phase)
+	}
+	if phases[0] != "M" || phases[1] != "X" {
+		t.Fatalf("phases = %v, want [M X]", phases)
+	}
+	if doc.TraceEvents[1].Args["events_fired"].(float64) != 42 {
+		t.Fatalf("span args lost: %+v", doc.TraceEvents[1].Args)
+	}
+}
+
+func TestSuiteObserverBindsPerGoroutine(t *testing.T) {
+	o := NewSuiteObserver(nil, NewTrace(), nil)
+	o.Begin(2, 2)
+
+	var wg sync.WaitGroup
+	counts := []int{100, 300}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			so := o.StartSpec([]string{"A", "B"}[w], "spec", w)
+			k := sim.New(1) // hook must attach this goroutine's probe
+			if k.Probe() == nil {
+				t.Errorf("worker %d: kernel got no probe", w)
+				so.Done(nil)
+				return
+			}
+			runChain(k, counts[w])
+			so.Done(nil)
+		}(w)
+	}
+	wg.Wait()
+	o.End()
+
+	if got := o.Registry().Scope("A").Counter("events_fired"); got != 101 {
+		t.Errorf("scope A events_fired = %d, want 101", got)
+	}
+	if got := o.Registry().Scope("B").Counter("events_fired"); got != 301 {
+		t.Errorf("scope B events_fired = %d, want 301", got)
+	}
+	if got := o.Registry().Scope("suite").Counter("events_fired"); got != 402 {
+		t.Errorf("suite events_fired = %d, want 402", got)
+	}
+	// After End the hook is gone: new kernels stay unobserved.
+	if sim.New(1).Probe() != nil {
+		t.Error("kernel hook leaked past End")
+	}
+	// One metadata event per worker plus one span per spec.
+	if got := o.Trace().Len(); got != 4 {
+		t.Errorf("trace events = %d, want 4", got)
+	}
+}
+
+func TestGoidStablePerGoroutine(t *testing.T) {
+	a, b := goid(), goid()
+	if a != b || a == 0 {
+		t.Fatalf("goid unstable on one goroutine: %d vs %d", a, b)
+	}
+	ch := make(chan uint64)
+	go func() { ch <- goid() }()
+	if other := <-ch; other == a {
+		t.Fatalf("distinct goroutines share id %d", a)
+	}
+}

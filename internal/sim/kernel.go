@@ -100,6 +100,9 @@ func (h Handle) Cancel() bool {
 		return false
 	}
 	h.ev.fn = nil // lazy deletion; the queue entry stays until drained
+	if h.k.probe != nil {
+		h.k.probe.EventCancelled(h.k.now, h.k.Pending())
+	}
 	if !h.ev.inNow {
 		h.k.dead++
 		if h.k.dead*2 > len(h.k.heap) && len(h.k.heap) >= compactMin {
@@ -151,6 +154,11 @@ type Kernel struct {
 	fired   uint64
 	stopped bool
 
+	// probe, when non-nil, observes scheduling activity (see probe.go).
+	// Every call site is guarded by one nil-check so the unobserved hot
+	// path is unchanged.
+	probe Probe
+
 	// proc handoff (see proc.go)
 	yield chan struct{}
 	procs int
@@ -159,10 +167,14 @@ type Kernel struct {
 // New returns a Kernel with its clock at zero and randomness seeded from
 // seed. The same seed yields an identical simulation.
 func New(seed int64) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 	}
+	if h := kernelHook.Load(); h != nil {
+		(*h)(k)
+	}
+	return k
 }
 
 // Now returns the current virtual time.
@@ -199,6 +211,9 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 	} else {
 		k.heapPush(entry{at: t, seq: k.seq, ev: ev})
 	}
+	if k.probe != nil {
+		k.probe.EventScheduled(t, k.Pending(), ev.inNow)
+	}
 	return Handle{k: k, ev: ev, gen: ev.gen}
 }
 
@@ -227,6 +242,9 @@ func (k *Kernel) Step() bool {
 	fn := ev.fn
 	k.recycle(ev)
 	k.fired++
+	if k.probe != nil {
+		k.probe.EventFired(k.now, k.Pending())
+	}
 	fn()
 	return true
 }
@@ -402,5 +420,8 @@ func (k *Kernel) compact() {
 		for i := (n - 2) >> 2; i >= 0; i-- {
 			k.siftDown(i, k.heap[i])
 		}
+	}
+	if k.probe != nil {
+		k.probe.HeapCompacted(k.now, len(h)-len(live), len(live))
 	}
 }

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+// countProbe records every probe callback.
+type countProbe struct {
+	scheduled, fired, cancelled int
+	fastPath                    int
+	compactions, removed        int
+	maxPending                  int
+}
+
+func (p *countProbe) EventScheduled(at Time, pending int, fastPath bool) {
+	p.scheduled++
+	if fastPath {
+		p.fastPath++
+	}
+	if pending > p.maxPending {
+		p.maxPending = pending
+	}
+}
+func (p *countProbe) EventFired(now Time, pending int) { p.fired++ }
+func (p *countProbe) EventCancelled(now Time, pending int) {
+	p.cancelled++
+}
+func (p *countProbe) HeapCompacted(now Time, removed, live int) {
+	p.compactions++
+	p.removed += removed
+}
+
+func TestProbeObservesScheduleFireCancel(t *testing.T) {
+	k := New(1)
+	p := &countProbe{}
+	k.SetProbe(p)
+	if k.Probe() != Probe(p) {
+		t.Fatal("Probe() did not return the attached probe")
+	}
+
+	k.At(1, func() {})
+	h := k.At(2, func() { t.Error("cancelled event fired") })
+	k.At(0, func() {}) // same-time fast path
+	if p.scheduled != 3 || p.fastPath != 1 {
+		t.Fatalf("scheduled=%d fastPath=%d, want 3 and 1", p.scheduled, p.fastPath)
+	}
+	if p.maxPending != 3 {
+		t.Fatalf("maxPending=%d, want 3", p.maxPending)
+	}
+	if !h.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	if p.cancelled != 1 {
+		t.Fatalf("cancelled=%d, want 1", p.cancelled)
+	}
+	k.Run()
+	if p.fired != 2 {
+		t.Fatalf("fired=%d, want 2 (cancelled event must not fire)", p.fired)
+	}
+}
+
+func TestProbeObservesCompaction(t *testing.T) {
+	k := New(1)
+	p := &countProbe{}
+	k.SetProbe(p)
+	// Fill the heap past compactMin, then cancel until dead entries
+	// outnumber live ones.
+	handles := make([]Handle, 0, 2*compactMin)
+	for i := 0; i < 2*compactMin; i++ {
+		handles = append(handles, k.At(Time(i+1), func() {}))
+	}
+	for _, h := range handles[:compactMin+1] {
+		h.Cancel()
+	}
+	if p.compactions == 0 {
+		t.Fatal("no compaction observed")
+	}
+	if p.removed == 0 {
+		t.Fatal("compaction removed no entries")
+	}
+	k.Run()
+}
+
+func TestProbeDoesNotChangeEventOrder(t *testing.T) {
+	run := func(probe Probe) []int {
+		k := New(42)
+		if probe != nil {
+			k.SetProbe(probe)
+		}
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			k.At(Time(k.Rand().Float64()), func() { order = append(order, i) })
+		}
+		k.Run()
+		return order
+	}
+	plain := run(nil)
+	probed := run(&countProbe{})
+	for i := range plain {
+		if plain[i] != probed[i] {
+			t.Fatalf("event order diverged at %d: %v vs %v", i, plain, probed)
+		}
+	}
+}
+
+func TestKernelHookAttachesToNewKernels(t *testing.T) {
+	p := &countProbe{}
+	SetKernelHook(func(k *Kernel) { k.SetProbe(p) })
+	defer SetKernelHook(nil)
+
+	k := New(1)
+	if k.Probe() != Probe(p) {
+		t.Fatal("hook did not attach probe to new kernel")
+	}
+	k.After(0, func() {})
+	k.Run()
+	if p.fired != 1 {
+		t.Fatalf("fired=%d, want 1", p.fired)
+	}
+
+	SetKernelHook(nil)
+	if New(1).Probe() != nil {
+		t.Fatal("cleared hook still attaches probes")
+	}
+}

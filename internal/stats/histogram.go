@@ -43,13 +43,19 @@ func NewLogHistogram(lo, hi float64, n int) *Histogram {
 }
 
 // Add records one observation.
-func (h *Histogram) Add(x float64) {
-	h.total++
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records n identical observations of x. It lets callers that
+// pre-aggregate in their own counters (for example the kernel probe's
+// power-of-two depth counts) publish into a histogram without replaying
+// every observation.
+func (h *Histogram) AddN(x float64, n int) {
+	h.total += n
 	switch {
 	case x < h.lo:
-		h.under++
+		h.under += n
 	case x >= h.hi:
-		h.over++
+		h.over += n
 	default:
 		var i int
 		if h.log {
@@ -63,7 +69,7 @@ func (h *Histogram) Add(x float64) {
 		if i >= len(h.counts) {
 			i = len(h.counts) - 1
 		}
-		h.counts[i]++
+		h.counts[i] += n
 	}
 }
 

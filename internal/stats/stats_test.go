@@ -145,6 +145,22 @@ func TestHistogramLog(t *testing.T) {
 	approx(t, hi, 4, 1e-9, "bucket 1 hi")
 }
 
+func TestHistogramAddN(t *testing.T) {
+	h := NewLogHistogram(1, 1024, 10)
+	h.AddN(3, 5)    // bucket 1 [2,4)
+	h.AddN(0.5, 2)  // underflow
+	h.AddN(2048, 3) // overflow
+	if h.Bucket(1) != 5 {
+		t.Fatalf("bucket 1 = %d, want 5", h.Bucket(1))
+	}
+	if h.Underflow() != 2 || h.Overflow() != 3 {
+		t.Fatalf("under=%d over=%d, want 2 and 3", h.Underflow(), h.Overflow())
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d, want 10", h.Count())
+	}
+}
+
 // Property: histogram never loses observations.
 func TestHistogramConservationProperty(t *testing.T) {
 	prop := func(xs []float64) bool {

@@ -7,7 +7,10 @@ set -e
 cd "$(dirname "$0")/.."
 
 echo "== go test microbenchmarks (cross-check) =="
-go test -run '^$' -bench 'BenchmarkKernel' -benchmem ./internal/sim/
+# internal/sim is the nil-probe hot path; internal/obs repeats the
+# throughput benchmark with a counting probe attached, pinning the
+# enabled-observability overhead.
+go test -run '^$' -bench 'BenchmarkKernel' -benchmem ./internal/sim/ ./internal/obs/
 
 echo "== BENCH_runner.json =="
 go run ./cmd/bench "$@"
