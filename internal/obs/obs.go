@@ -17,7 +17,8 @@
 // probe to every kernel the spec constructs, however deep inside
 // machine/network/sched code. Experiments run synchronously on their
 // worker goroutine, so the binding is exact. One observed suite runs at a
-// time (the hook is process-global).
+// time (the hook is process-global); SuiteObserver.Begin panics if a
+// hook is already installed rather than silently replacing it.
 package obs
 
 import (
@@ -70,6 +71,11 @@ func (o *SuiteObserver) Trace() *Trace { return o.trace }
 // Begin marks the suite start and installs the process-global kernel
 // hook. total is the number of specs, workers the pool size (used to name
 // trace tracks). The runner calls Begin/End; callers only construct.
+//
+// Only one observed suite may run at a time: Begin panics if a kernel
+// hook is already installed (another observer, or anything else that
+// called sim.SetKernelHook), so overlapping observed runs fail loudly
+// instead of silently corrupting each other's metric attribution.
 func (o *SuiteObserver) Begin(total, workers int) {
 	o.start = time.Now()
 	o.total = total
@@ -78,7 +84,9 @@ func (o *SuiteObserver) Begin(total, workers int) {
 			o.trace.NameThread(w, fmt.Sprintf("worker %d", w))
 		}
 	}
-	sim.SetKernelHook(o.attach)
+	if !sim.InstallKernelHook(o.attach) {
+		panic("obs: SuiteObserver.Begin: a sim kernel hook is already installed; only one observed suite may run at a time")
+	}
 }
 
 // End removes the kernel hook and writes suite totals into the "suite"
@@ -160,22 +168,22 @@ func (so *SpecObs) Done(err error) {
 		})
 	}
 
+	// The progress line prints under o.mu: the writer need not be
+	// concurrency-safe, and [n/total] counters appear in order.
 	o.mu.Lock()
 	o.done++
-	done := o.done
 	o.totalFired += so.probe.Fired()
 	o.totalEvents += so.probe.Scheduled()
-	o.mu.Unlock()
-
 	if o.progress != nil {
 		status := "ok"
 		if so.failed {
 			status = "FAILED: " + err.Error()
 		}
 		fmt.Fprintf(o.progress, "[%2d/%d] %-4s %-42s %10s %12d events  %s\n",
-			done, o.total, so.id, so.title,
+			o.done, o.total, so.id, so.title,
 			so.wall.Round(time.Microsecond), so.probe.Fired(), status)
 	}
+	o.mu.Unlock()
 }
 
 // ID returns the observed spec's id.

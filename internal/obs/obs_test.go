@@ -212,6 +212,51 @@ func TestSuiteObserverBindsPerGoroutine(t *testing.T) {
 	}
 }
 
+func TestSuiteObserverBeginPanicsIfHookInstalled(t *testing.T) {
+	sim.SetKernelHook(func(*sim.Kernel) {})
+	defer sim.SetKernelHook(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin did not panic with a kernel hook already installed")
+		}
+	}()
+	NewSuiteObserver(nil, nil, nil).Begin(1, 1)
+}
+
+// TestProgressLinesSerializedAndOrdered drives Done from many goroutines
+// into a plain bytes.Buffer: under -race this proves progress writes are
+// serialized, and the [n/total] prefixes must come out monotonic.
+func TestProgressLinesSerializedAndOrdered(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewSuiteObserver(nil, nil, &buf)
+	o.Begin(8, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			so := o.StartSpec(string(rune('A'+w)), "spec", w%4)
+			so.Done(nil)
+		}(w)
+	}
+	wg.Wait()
+	o.End()
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("progress lines = %d, want 8:\n%s", len(lines), buf.String())
+	}
+	for i, ln := range lines {
+		want := "[" + string(rune('0'+i+1)) + "/8]"
+		if i+1 < 10 {
+			want = "[ " + string(rune('0'+i+1)) + "/8]"
+		}
+		if !strings.HasPrefix(ln, want) {
+			t.Fatalf("line %d = %q, want prefix %q (out-of-order counter)", i, ln, want)
+		}
+	}
+}
+
 func TestGoidStablePerGoroutine(t *testing.T) {
 	a, b := goid(), goid()
 	if a != b || a == 0 {

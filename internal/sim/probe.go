@@ -57,3 +57,13 @@ func SetKernelHook(fn func(*Kernel)) {
 	}
 	kernelHook.Store(&fn)
 }
+
+// InstallKernelHook installs fn like SetKernelHook, but refuses to
+// replace an existing hook: if one is already installed it is left in
+// place and InstallKernelHook reports false. Observability layers use it
+// so that a second concurrent observer fails loudly instead of silently
+// stealing the first one's kernel attribution. fn must be non-nil;
+// remove the hook with SetKernelHook(nil).
+func InstallKernelHook(fn func(*Kernel)) bool {
+	return kernelHook.CompareAndSwap(nil, &fn)
+}

@@ -122,3 +122,17 @@ func TestKernelHookAttachesToNewKernels(t *testing.T) {
 		t.Fatal("cleared hook still attaches probes")
 	}
 }
+
+func TestInstallKernelHookRefusesToReplace(t *testing.T) {
+	defer SetKernelHook(nil)
+	if !InstallKernelHook(func(*Kernel) {}) {
+		t.Fatal("install with no hook present failed")
+	}
+	if InstallKernelHook(func(*Kernel) {}) {
+		t.Fatal("second install replaced an existing hook")
+	}
+	SetKernelHook(nil)
+	if !InstallKernelHook(func(*Kernel) {}) {
+		t.Fatal("install after clearing failed")
+	}
+}
