@@ -14,15 +14,26 @@
 //	experiments -metrics m.json   # metrics snapshot JSON
 //	experiments -cpuprofile p.out # pprof CPU profile of the run
 //	experiments -memprofile m.out # pprof heap profile after the run
+//	experiments -spec-timeout 60s # abandon an experiment stuck past its budget
+//	experiments -retries 1        # re-run a failed experiment once
+//	experiments -faultinject      # dev/CI: append specs that panic, hang, error
 //
 // Tables always print in suite order (E1 … X7) regardless of -par; every
 // number in them is virtual time, so the bytes are identical for any
 // worker count — and for any combination of observability flags, which
-// write only to their own files and stderr. If an experiment fails, the
-// remaining experiments still run and print, the failures are reported on
+// write only to their own files and stderr. If an experiment fails — by
+// returning an error, panicking, producing a malformed table, or
+// exceeding -spec-timeout — the remaining experiments still run and
+// print, the failure (with its stack or goroutine dump) is reported on
 // stderr, and the exit status is non-zero. A write error on stdout (for
 // example a broken pipe) is likewise fatal rather than silently
 // truncating tables.
+//
+// -faultinject appends the synthetic misbehaving specs from
+// experiments.FaultSpecs after the genuine suite so CI can prove the
+// isolation guarantees above: the run must exit 1 while stdout stays
+// byte-identical to a healthy run. Because one of those specs hangs
+// forever, -faultinject defaults -spec-timeout to 10s when it is unset.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"northstar/internal/experiments"
 	"northstar/internal/obs"
@@ -57,6 +69,9 @@ func run() int {
 	progress := flag.Bool("progress", false, "print live per-spec status lines to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	specTimeout := flag.Duration("spec-timeout", 0, "per-experiment wall-clock budget; 0 disables the watchdog")
+	retries := flag.Int("retries", 0, "re-run a failed experiment up to this many extra times")
+	faultinject := flag.Bool("faultinject", false, "dev/CI: append synthetic misbehaving specs (implies -spec-timeout 10s if unset)")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -99,7 +114,23 @@ func run() int {
 		}
 		specs = []experiments.Spec{s}
 	}
-	opts := experiments.Options{Quick: *quick, Workers: *par, Observer: observer}
+	if *faultinject {
+		// The fault specs ride after the genuine suite: they all fail
+		// without printing, so stdout stays byte-identical to a healthy
+		// run while the exit status proves the isolation. FI-HANG parks
+		// forever, so the watchdog must be armed.
+		specs = append(specs, experiments.FaultSpecs()...)
+		if *specTimeout <= 0 {
+			*specTimeout = 10 * time.Second
+		}
+	}
+	opts := experiments.Options{
+		Quick:       *quick,
+		Workers:     *par,
+		Observer:    observer,
+		SpecTimeout: *specTimeout,
+		Retries:     *retries,
+	}
 	if observer != nil {
 		opts.Summary = os.Stderr
 	}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// Pins E10's published quick-mode table byte-for-byte. The censored-run
+// accounting fix in fault.Checkpoint.Simulate (excluding a wall-clock-
+// capped partial run from the completion mean) must not move any
+// non-censored number, and E10's sweep is entirely non-censored at its
+// optimum grid.
+func TestE10QuickOutputPinned(t *testing.T) {
+	tab, err := E10Checkpoint(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(tab.String()))
+	const want = "a2a6731846a10f1f04a9dddd1e0197be6a2c657b2059ad0ac9c2f1fa11e396b0"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("E10 quick table changed: sha256 = %s, want %s\n%s", got, want, tab.String())
+	}
+}

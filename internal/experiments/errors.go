@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// PanicError is the failure recorded when a spec's Run function panics.
+// The runner recovers the panic on the spec's own goroutine, so one
+// buggy experiment fails alone instead of killing the whole suite.
+type PanicError struct {
+	ID    string // spec id
+	Value any    // the recovered panic value
+	Stack string // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s panicked: %v\n%s", e.ID, e.Value, e.Stack)
+}
+
+// TimeoutError is the failure recorded when a spec attempt exceeds
+// Options.SpecTimeout. The attempt's goroutine is abandoned, not killed
+// (Go cannot preempt-kill a goroutine); Stacks carries a full goroutine
+// dump taken at expiry so the hang site is diagnosable from the suite's
+// stderr report.
+type TimeoutError struct {
+	ID      string        // spec id
+	Timeout time.Duration // the budget that was exceeded
+	Stacks  string        // all-goroutine dump at expiry
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("%s exceeded its %s deadline; goroutine dump at expiry:\n%s",
+		e.ID, e.Timeout, e.Stacks)
+}
+
+// allStacks returns a dump of every goroutine's stack, capped at 512 KiB.
+func allStacks() string {
+	buf := make([]byte, 512<<10)
+	return string(buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "errors"
+
+// FaultSpecs returns synthetic misbehaving specs — one each for an
+// error return, a panic, a permanent hang, a malformed (ragged) table,
+// and a nil-table/nil-error return. They exist so CI can assert the
+// runner's isolation guarantees against real misbehavior instead of only
+// unit mocks: `experiments -faultinject` appends them after the genuine
+// suite, and because every one of them fails (nothing here prints), the
+// run must exit non-zero while stdout stays byte-identical to a healthy
+// run.
+//
+// FI-HANG parks its goroutine forever, so a fault-injected run needs
+// Options.SpecTimeout (the CLI defaults it on when -faultinject is set);
+// the goroutine is leaked by design — that is the scenario the watchdog
+// exists for.
+func FaultSpecs() []Spec {
+	return []Spec{
+		{ID: "FI-ERR", Title: "faultinject: returns an error", Run: func(bool) (*Table, error) {
+			return nil, errors.New("faultinject: synthetic failure")
+		}},
+		{ID: "FI-PANIC", Title: "faultinject: panics mid-run", Run: func(bool) (*Table, error) {
+			panic("faultinject: synthetic panic")
+		}},
+		{ID: "FI-HANG", Title: "faultinject: hangs forever", Run: func(bool) (*Table, error) {
+			select {}
+		}},
+		{ID: "FI-GARBAGE", Title: "faultinject: returns a ragged table", Run: func(bool) (*Table, error) {
+			return &Table{
+				ID:      "FI-GARBAGE",
+				Title:   "ragged",
+				Columns: []string{"a", "b"},
+				Rows:    [][]string{{"1", "2", "3"}},
+			}, nil
+		}},
+		{ID: "FI-NIL", Title: "faultinject: returns neither table nor error", Run: func(bool) (*Table, error) {
+			return nil, nil
+		}},
+	}
+}

@@ -16,7 +16,7 @@ type Options struct {
 	// Quick shrinks each experiment's sweeps to CI scale.
 	Quick bool
 	// Workers sets the pool size: <= 0 selects runtime.GOMAXPROCS(0),
-	// 1 runs everything on the calling goroutine (the sequential path).
+	// 1 runs the specs strictly one at a time (the sequential path).
 	Workers int
 	// Observer, when non-nil, instruments the run: per-spec wall clock,
 	// kernel event counts, trace slices, and live progress lines. The
@@ -26,9 +26,24 @@ type Options struct {
 	Observer *obs.SuiteObserver
 	// Summary, when non-nil (and Observer is set), receives a
 	// suite-summary table — per-spec wall clock, events fired, peak
-	// pending — after the ordered table stream completes. Point it at
-	// stderr to keep stdout canonical.
+	// pending, retries, status — after the ordered table stream
+	// completes. Point it at stderr to keep stdout canonical.
 	Summary io.Writer
+	// SpecTimeout bounds each spec attempt's host wall-clock time; 0
+	// disables the watchdog. An attempt that exceeds the budget is
+	// reported failed with a *TimeoutError carrying a goroutine dump.
+	// The sim is single-threaded per spec and Go cannot preempt-kill a
+	// goroutine, so the watchdog abandons the attempt's goroutine and
+	// result slot rather than killing the process; the remaining specs
+	// still run and print.
+	SpecTimeout time.Duration
+	// Retries re-runs a failed spec (error, panic, malformed table, or
+	// timeout) up to this many additional times. The default 0 is the
+	// norm — the suite is deterministic, so a real failure does not
+	// heal — but host-level flakes (a watchdog tripped by a loaded CI
+	// box) can be retried away. Retry counts surface in the observer's
+	// summary table and metrics registry.
+	Retries int
 }
 
 // RunAllParallel executes the full experiment suite on a bounded worker
@@ -37,15 +52,17 @@ type Options struct {
 // each builds its own kernels, machines, and roadmaps — so the tables are
 // byte-identical to a sequential run; only host wall-clock changes.
 //
-// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 runs
-// everything on the calling goroutine (the sequential path).
+// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 runs the
+// specs strictly one at a time (the sequential path).
 //
 // Unlike a sequential early-exit loop, a failing experiment does not drop
 // the experiments after it: all specs run to completion, failed ones
 // print nothing, and the returned slice holds one slot per spec in suite
-// order with nil marking failures. The returned error joins every
-// per-experiment failure and any table write error (nil if all
-// succeeded).
+// order with nil marking failures. A spec that panics or returns a
+// malformed table fails the same way — the panic is recovered on the
+// spec's goroutine and surfaces as a *PanicError. The returned error
+// joins every per-experiment failure and any table write error (nil if
+// all succeeded).
 func RunAllParallel(w io.Writer, quick bool, workers int) ([]*Table, error) {
 	return RunSpecs(w, All(), Options{Quick: quick, Workers: workers})
 }
@@ -76,24 +93,30 @@ func RunSpecs(w io.Writer, specs []Spec, opts Options) ([]*Table, error) {
 		defer opts.Observer.End()
 	}
 
-	// runOne executes spec i on the calling goroutine, which must be the
-	// goroutine of the given worker: the observer binds the spec's kernel
-	// probe to it for the duration of the Run call.
+	// runOne executes spec i, retrying failed attempts up to
+	// opts.Retries times. Each attempt runs on its own goroutine
+	// (runAttempt) so a panic or a hang is isolated to that attempt: the
+	// worker always comes back to fill the result slot, close done[i],
+	// and pick up the next job.
 	runOne := func(i, worker int) {
-		var so *obs.SpecObs
-		if opts.Observer != nil {
-			so = opts.Observer.StartSpec(specs[i].ID, specs[i].Title, worker)
-			specObs[i] = so
+		var lastErr error
+		for attempt := 0; attempt <= opts.Retries; attempt++ {
+			t, so, err := runAttempt(specs[i], worker, attempt, opts)
+			if so != nil {
+				specObs[i] = so // the last attempt's observation wins
+			}
+			if err == nil {
+				tables[i] = t
+				return
+			}
+			lastErr = err
 		}
-		t, err := specs[i].Run(opts.Quick)
-		if so != nil {
-			so.Done(err)
-		}
-		if err != nil {
-			errs[i] = fmt.Errorf("experiments: %s failed: %w", specs[i].ID, err)
+		if opts.Retries > 0 {
+			errs[i] = fmt.Errorf("experiments: %s failed after %d attempts: %w",
+				specs[i].ID, opts.Retries+1, lastErr)
 			return
 		}
-		tables[i] = t
+		errs[i] = fmt.Errorf("experiments: %s failed: %w", specs[i].ID, lastErr)
 	}
 
 	// print streams table i if the writer is still healthy; after the
@@ -161,19 +184,116 @@ func finish(w io.Writer, specs []Spec, specObs []*obs.SpecObs, opts Options, err
 	return errors.Join(errors.Join(errs...), werr)
 }
 
+// runAttempt executes one attempt of spec s on a fresh goroutine and
+// waits for either its result or the watchdog deadline. Spawning lets a
+// hung attempt be abandoned — the goroutine stays parked, the worker
+// moves on — and confines a panic to the attempt. The observer binding
+// is made on the spawned goroutine (StartAttempt is per-goroutine), so
+// kernel attribution keeps working; the SpecObs is handed back over a
+// buffered channel so the watchdog can finalize it with Abandon.
+func runAttempt(s Spec, worker, attempt int, opts Options) (*Table, *obs.SpecObs, error) {
+	type result struct {
+		t   *Table
+		err error
+	}
+	obsCh := make(chan *obs.SpecObs, 1)
+	resCh := make(chan result, 1)
+	go func() {
+		var so *obs.SpecObs
+		if opts.Observer != nil {
+			so = opts.Observer.StartAttempt(s.ID, s.Title, worker, attempt)
+		}
+		obsCh <- so
+		t, err := runShielded(s, opts.Quick)
+		if so != nil {
+			so.Done(err)
+		}
+		resCh <- result{t, err}
+	}()
+	so := <-obsCh
+
+	var deadline <-chan time.Time
+	if opts.SpecTimeout > 0 {
+		tm := time.NewTimer(opts.SpecTimeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	select {
+	case r := <-resCh:
+		return r.t, so, r.err
+	case <-deadline:
+		err := &TimeoutError{ID: s.ID, Timeout: opts.SpecTimeout, Stacks: allStacks()}
+		if so != nil && !so.Abandon(err) {
+			// The spec finished between the timer firing and the
+			// abandon: Done already published, so take the real result.
+			r := <-resCh
+			return r.t, so, r.err
+		}
+		if so == nil {
+			// Unobserved run: no CAS arbiter, so make a best-effort
+			// check for a result that beat the timer.
+			select {
+			case r := <-resCh:
+				return r.t, so, r.err
+			default:
+			}
+		}
+		return nil, so, err
+	}
+}
+
+// runShielded calls s.Run with a panic shield: a panic becomes a
+// *PanicError carrying the stack, a nil table with a nil error becomes
+// an explicit error, and a malformed table (Validate) fails the spec
+// before it can reach — and corrupt or crash — the shared output stream.
+func runShielded(s Spec, quick bool) (t *Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			t, err = nil, &PanicError{ID: s.ID, Value: r, Stack: string(buf[:runtime.Stack(buf, false)])}
+		}
+	}()
+	t, err = s.Run(quick)
+	switch {
+	case err != nil:
+		t = nil
+	case t == nil:
+		err = fmt.Errorf("experiments: %s returned neither a table nor an error", s.ID)
+	default:
+		if verr := t.Validate(); verr != nil {
+			t, err = nil, verr
+		}
+	}
+	return t, err
+}
+
 // SummaryTable builds the suite-summary table from per-spec observations:
 // host wall clock, events fired, peak pending queue depth, same-time
-// fast-path share, and status. Slots of specObs may be nil (unobserved).
+// fast-path share, retries, and status. Slots of specObs may be nil, and
+// the slice may be shorter than specs (for example when assembled by a
+// caller that stopped observing early): missing slots render as
+// "unobserved" rows instead of panicking. A timed-out spec renders as
+// TIMEOUT with no event counts — its abandoned goroutine may still be
+// writing to the probe, so the counters are not safe to read.
 func SummaryTable(specs []Spec, specObs []*obs.SpecObs) *Table {
 	t := &Table{
 		ID:      "suite",
 		Title:   "observability summary",
-		Columns: []string{"id", "wall", "events", "peak pending", "fastpath %", "status"},
+		Columns: []string{"id", "wall", "events", "peak pending", "fastpath %", "retries", "status"},
 	}
 	for i, s := range specs {
-		so := specObs[i]
+		var so *obs.SpecObs
+		if i < len(specObs) {
+			so = specObs[i]
+		}
 		if so == nil {
-			t.AddRow(s.ID, "-", "-", "-", "-", "unobserved")
+			t.AddRow(s.ID, "-", "-", "-", "-", "-", "unobserved")
+			continue
+		}
+		retries := fmt.Sprintf("%d", so.Attempt())
+		if so.Abandoned() {
+			t.AddRow(s.ID, so.Wall().Round(time.Microsecond).String(),
+				"-", "-", "-", retries, "TIMEOUT")
 			continue
 		}
 		p := so.Probe()
@@ -187,7 +307,7 @@ func SummaryTable(specs []Spec, specObs []*obs.SpecObs) *Table {
 		}
 		t.AddRow(s.ID, so.Wall().Round(time.Microsecond).String(),
 			fmt.Sprintf("%d", p.Fired()), fmt.Sprintf("%d", p.PeakPending()),
-			fmt.Sprintf("%.1f", fast), status)
+			fmt.Sprintf("%.1f", fast), retries, status)
 	}
 	return t
 }

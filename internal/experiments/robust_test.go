@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"northstar/internal/obs"
+)
+
+// okSpec returns a healthy spec printing a one-row table.
+func okSpec(id string) Spec {
+	return Spec{ID: id, Title: id, Run: func(bool) (*Table, error) {
+		tab := &Table{ID: id, Title: id, Columns: []string{"v"}}
+		tab.AddRow(id)
+		return tab, nil
+	}}
+}
+
+// A panicking spec must fail alone: the suite neither crashes nor
+// deadlocks, the surviving specs print byte-identically to a run without
+// the bad spec, and the error carries the panic value and stack. Runs at
+// workers 1, 2, and 8 so the ordered printer's close(done[i]) path is
+// exercised both sequentially and concurrently (and under -race in CI).
+func TestRunSpecsPanicIsolation(t *testing.T) {
+	healthy := []Spec{okSpec("P1"), okSpec("P2"), okSpec("P3"), okSpec("P4")}
+	var ref bytes.Buffer
+	if _, err := RunSpecs(&ref, healthy, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		healthy[0],
+		healthy[1],
+		{ID: "PX", Title: "panics", Run: func(bool) (*Table, error) { panic("kaboom") }},
+		healthy[2],
+		healthy[3],
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		tabs, err := RunSpecs(&buf, specs, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: no error for panicking spec", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T does not wrap *PanicError: %v", workers, err, err)
+		}
+		if pe.ID != "PX" || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: PanicError = {%s %v}", workers, pe.ID, pe.Value)
+		}
+		if !strings.Contains(pe.Stack, "runShielded") {
+			t.Fatalf("workers=%d: panic stack missing frames:\n%s", workers, pe.Stack)
+		}
+		if tabs[2] != nil {
+			t.Fatalf("workers=%d: panicking spec produced a table", workers)
+		}
+		if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+			t.Fatalf("workers=%d: surviving output differs from healthy run:\n%s\nvs\n%s",
+				workers, buf.String(), ref.String())
+		}
+	}
+}
+
+// With an observer attached, a panicking spec must still be marked
+// FAILED in the summary table and counted in the registry.
+func TestRunSpecsPanicObserved(t *testing.T) {
+	specs := []Spec{
+		okSpec("P1"),
+		{ID: "PX", Title: "panics", Run: func(bool) (*Table, error) { panic("kaboom") }},
+	}
+	var buf, summary bytes.Buffer
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	_, err := RunSpecs(&buf, specs, Options{Workers: 2, Observer: observer, Summary: &summary})
+	if err == nil {
+		t.Fatal("no error for panicking spec")
+	}
+	row := summaryRow(t, summary.String(), "PX")
+	if !strings.Contains(row, "FAILED") {
+		t.Fatalf("summary row for PX not FAILED: %q", row)
+	}
+	if got := observer.Registry().Scope("PX").Counter("failures"); got != 1 {
+		t.Fatalf("PX failures counter = %d, want 1", got)
+	}
+	if got := observer.Registry().Scope("suite").Counter("failures"); got != 1 {
+		t.Fatalf("suite failures counter = %d, want 1", got)
+	}
+}
+
+// A hung spec must be abandoned at the watchdog deadline: the suite
+// finishes, the other specs print, the error is a *TimeoutError with a
+// goroutine dump, and the summary marks the spec TIMEOUT.
+func TestRunSpecsWatchdogTimeout(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // unpark the abandoned goroutine
+	specs := []Spec{
+		okSpec("W1"),
+		{ID: "WH", Title: "hangs", Run: func(bool) (*Table, error) {
+			<-release
+			return nil, errors.New("released after abandonment")
+		}},
+		okSpec("W2"),
+	}
+	for _, workers := range []int{1, 3} {
+		var buf, summary bytes.Buffer
+		observer := obs.NewSuiteObserver(nil, nil, nil)
+		start := time.Now()
+		tabs, err := RunSpecs(&buf, specs, Options{
+			Workers: workers, SpecTimeout: 100 * time.Millisecond,
+			Observer: observer, Summary: &summary,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error for hung spec", workers)
+		}
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: error %T does not wrap *TimeoutError", workers, err)
+		}
+		if te.ID != "WH" || te.Timeout != 100*time.Millisecond {
+			t.Fatalf("workers=%d: TimeoutError = {%s %s}", workers, te.ID, te.Timeout)
+		}
+		if !strings.Contains(te.Stacks, "goroutine") {
+			t.Fatalf("workers=%d: timeout error missing goroutine dump", workers)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("workers=%d: suite took %s; watchdog did not fire", workers, elapsed)
+		}
+		if tabs[0] == nil || tabs[1] != nil || tabs[2] == nil {
+			t.Fatalf("workers=%d: slots = %v, want [W1 nil W2]", workers, tabs)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "W1") || !strings.Contains(out, "W2") {
+			t.Fatalf("workers=%d: surviving tables not printed:\n%s", workers, out)
+		}
+		row := summaryRow(t, summary.String(), "WH")
+		if !strings.Contains(row, "TIMEOUT") {
+			t.Fatalf("workers=%d: summary row for WH not TIMEOUT: %q", workers, row)
+		}
+		if got := observer.Registry().Scope("WH").Counter("timeouts"); got != 1 {
+			t.Fatalf("workers=%d: WH timeouts counter = %d, want 1", workers, got)
+		}
+	}
+}
+
+// A flaky spec that fails once and then succeeds must, with Retries >= 1,
+// end up ok: its table prints, the suite error is nil, and the retry is
+// visible in the summary table and the registry.
+func TestRunSpecsRetryThenSucceed(t *testing.T) {
+	var calls atomic.Int32
+	specs := []Spec{
+		okSpec("R1"),
+		{ID: "RF", Title: "flaky", Run: func(bool) (*Table, error) {
+			if calls.Add(1) == 1 {
+				return nil, errors.New("transient host flake")
+			}
+			tab := &Table{ID: "RF", Title: "flaky", Columns: []string{"v"}}
+			tab.AddRow("ok")
+			return tab, nil
+		}},
+	}
+	var buf, summary bytes.Buffer
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	tabs, err := RunSpecs(&buf, specs, Options{
+		Workers: 1, Retries: 2, Observer: observer, Summary: &summary,
+	})
+	if err != nil {
+		t.Fatalf("retry did not heal the flake: %v", err)
+	}
+	if tabs[1] == nil || !strings.Contains(buf.String(), "RF") {
+		t.Fatalf("flaky spec's table missing after successful retry:\n%s", buf.String())
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("flaky spec ran %d times, want 2", got)
+	}
+	row := summaryRow(t, summary.String(), "RF")
+	if !strings.Contains(row, "ok") || !fieldEquals(row, "1") {
+		t.Fatalf("summary row for RF should show 1 retry and ok: %q", row)
+	}
+	if got := observer.Registry().Scope("RF").Counter("retries"); got != 1 {
+		t.Fatalf("RF retries counter = %d, want 1", got)
+	}
+	if got := observer.Registry().Scope("suite").Counter("retries"); got != 1 {
+		t.Fatalf("suite retries counter = %d, want 1", got)
+	}
+}
+
+// When every attempt fails, the error reports the attempt count and the
+// registry counts each failed attempt.
+func TestRunSpecsRetryExhausted(t *testing.T) {
+	boom := errors.New("always broken")
+	specs := []Spec{
+		{ID: "RX", Title: "broken", Run: func(bool) (*Table, error) { return nil, boom }},
+	}
+	var buf, summary bytes.Buffer
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	tabs, err := RunSpecs(&buf, specs, Options{
+		Workers: 1, Retries: 2, Observer: observer, Summary: &summary,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap cause", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error %v does not report attempt count", err)
+	}
+	if tabs[0] != nil || buf.Len() != 0 {
+		t.Fatalf("broken spec produced output: %q", buf.String())
+	}
+	row := summaryRow(t, summary.String(), "RX")
+	if !strings.Contains(row, "FAILED") || !fieldEquals(row, "2") {
+		t.Fatalf("summary row for RX should show 2 retries and FAILED: %q", row)
+	}
+	if got := observer.Registry().Scope("RX").Counter("failures"); got != 3 {
+		t.Fatalf("RX failures counter = %d, want 3 (one per attempt)", got)
+	}
+	if got := observer.Registry().Scope("RX").Counter("retries"); got != 2 {
+		t.Fatalf("RX retries counter = %d, want 2", got)
+	}
+}
+
+// A spec whose first attempt hangs and whose retry succeeds must recover:
+// the timeout is retried like any other failure.
+func TestRunSpecsRetryAfterTimeout(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	var calls atomic.Int32
+	specs := []Spec{
+		{ID: "RT", Title: "hangs once", Run: func(bool) (*Table, error) {
+			if calls.Add(1) == 1 {
+				<-release
+				return nil, errors.New("released after abandonment")
+			}
+			tab := &Table{ID: "RT", Title: "hangs once", Columns: []string{"v"}}
+			tab.AddRow("ok")
+			return tab, nil
+		}},
+	}
+	var buf bytes.Buffer
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	tabs, err := RunSpecs(&buf, specs, Options{
+		Workers: 1, Retries: 1, SpecTimeout: 100 * time.Millisecond, Observer: observer,
+	})
+	if err != nil {
+		t.Fatalf("retry did not recover from the timeout: %v", err)
+	}
+	if tabs[0] == nil || !strings.Contains(buf.String(), "RT") {
+		t.Fatalf("table missing after timeout+retry:\n%s", buf.String())
+	}
+	scope := observer.Registry().Scope("RT")
+	if got := scope.Counter("timeouts"); got != 1 {
+		t.Fatalf("RT timeouts counter = %d, want 1", got)
+	}
+	if got := scope.Counter("retries"); got != 1 {
+		t.Fatalf("RT retries counter = %d, want 1", got)
+	}
+}
+
+// SummaryTable must tolerate a specObs slice shorter than specs (or nil)
+// by emitting "unobserved" rows instead of panicking on the index.
+func TestSummaryTableShortObsSlice(t *testing.T) {
+	specs := []Spec{okSpec("S1"), okSpec("S2"), okSpec("S3")}
+	for _, obsSlice := range [][]*obs.SpecObs{nil, make([]*obs.SpecObs, 1)} {
+		tab := SummaryTable(specs, obsSlice)
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("summary table invalid: %v", err)
+		}
+		if len(tab.Rows) != len(specs) {
+			t.Fatalf("summary has %d rows for %d specs", len(tab.Rows), len(specs))
+		}
+		for i, row := range tab.Rows {
+			if row[len(row)-1] != "unobserved" {
+				t.Fatalf("row %d status = %q, want unobserved", i, row[len(row)-1])
+			}
+		}
+	}
+}
+
+// The end-to-end fault-injection contract that CI smokes via the CLI:
+// appending FaultSpecs to a healthy suite exits with an error naming
+// every fault spec, while stdout stays byte-identical to the healthy
+// run and the summary covers every spec.
+func TestFaultSpecsIsolation(t *testing.T) {
+	healthy := []Spec{okSpec("H1"), okSpec("H2"), okSpec("H3")}
+	var ref bytes.Buffer
+	if _, err := RunSpecs(&ref, healthy, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	specs := append(append([]Spec{}, healthy...), FaultSpecs()...)
+	var buf, summary bytes.Buffer
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	tabs, err := RunSpecs(&buf, specs, Options{
+		Workers: 4, SpecTimeout: 500 * time.Millisecond,
+		Observer: observer, Summary: &summary,
+	})
+	if err == nil {
+		t.Fatal("fault-injected suite reported success")
+	}
+	for _, fs := range FaultSpecs() {
+		if !strings.Contains(err.Error(), fs.ID) {
+			t.Errorf("suite error does not name %s", fs.ID)
+		}
+		if !strings.Contains(summary.String(), fs.ID) {
+			t.Errorf("summary table missing %s", fs.ID)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+		t.Fatalf("fault-injected stdout differs from healthy run:\n%s\nvs\n%s",
+			buf.String(), ref.String())
+	}
+	for i := range healthy {
+		if tabs[i] == nil {
+			t.Errorf("healthy spec %s lost its table", healthy[i].ID)
+		}
+	}
+	for i := len(healthy); i < len(specs); i++ {
+		if tabs[i] != nil {
+			t.Errorf("fault spec %s produced a table", specs[i].ID)
+		}
+	}
+	if !strings.Contains(summaryRow(t, summary.String(), "FI-HANG"), "TIMEOUT") {
+		t.Errorf("FI-HANG summary row not TIMEOUT:\n%s", summary.String())
+	}
+}
+
+// A ragged hand-built table must be caught by Validate, not crash Fprint.
+func TestTableValidate(t *testing.T) {
+	good := &Table{ID: "G", Title: "g", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	for _, bad := range []*Table{
+		{Title: "no id", Columns: []string{"a"}},
+		{ID: "C", Title: "no columns"},
+		{ID: "R", Title: "ragged", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2", "3"}}},
+		{ID: "S", Title: "short row", Columns: []string{"a", "b"}, Rows: [][]string{{"1"}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("table %q/%q passed validation", bad.ID, bad.Title)
+		}
+	}
+}
+
+// summaryRow extracts the summary-table line starting with the given id.
+func summaryRow(t *testing.T, summary, id string) string {
+	t.Helper()
+	for _, line := range strings.Split(summary, "\n") {
+		if strings.HasPrefix(line, id+" ") {
+			return line
+		}
+	}
+	t.Fatalf("summary has no row for %s:\n%s", id, summary)
+	return ""
+}
+
+// fieldEquals reports whether any whitespace-separated field of line
+// equals want (used to check the retries column without assuming widths).
+func fieldEquals(line, want string) bool {
+	for _, f := range strings.Fields(line) {
+		if f == want {
+			return true
+		}
+	}
+	return false
+}

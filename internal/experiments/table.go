@@ -61,6 +61,27 @@ func formatFloat(v float64) string {
 	}
 }
 
+// Validate checks the table is printable: a non-empty ID, at least one
+// column, and every row exactly as wide as the header. The runner
+// validates each successful spec's table before printing, so a spec that
+// hand-builds a ragged table fails alone instead of crashing the shared
+// printer goroutine (Fprint indexes widths by column).
+func (t *Table) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("experiments: table has no ID")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("experiments: table %s has no columns", t.ID)
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("experiments: table %s row %d has %d cells for %d columns",
+				t.ID, i, len(row), len(t.Columns))
+		}
+	}
+	return nil
+}
+
 // Fprint writes the table as aligned text. It returns the first write
 // error: a broken pipe must surface as a failure, not a silently
 // truncated table.

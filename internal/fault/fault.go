@@ -58,6 +58,11 @@ func (s System) MTBF() sim.Time {
 // equals MTBF; for Weibull shape < 1 it is markedly shorter (infant
 // mortality).
 func (s System) FirstFailureMean(runs int, seed int64) sim.Time {
+	if runs <= 0 {
+		// Matching Checkpoint.Simulate's runs check; without this the
+		// division below returns NaN and poisons every number downstream.
+		panic(fmt.Sprintf("fault: FirstFailureMean needs runs > 0, got %d", runs))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var sum float64
 	for r := 0; r < runs; r++ {
@@ -147,8 +152,9 @@ type Result struct {
 	// Censored reports that a run was cut off at the wall-clock cap
 	// (100 x Work, i.e. below 1% efficiency) without finishing — the
 	// configuration effectively never completes (e.g. segments much
-	// longer than the MTBF). The other fields are then lower bounds
-	// from the runs attempted before the cutoff.
+	// longer than the MTBF). The censored run's partial tallies are
+	// excluded: the other fields average only the runs that finished
+	// before the cutoff, and are sim.Forever/zero if none did.
 	Censored bool
 }
 
@@ -167,13 +173,16 @@ func (c Checkpoint) Simulate(runs int, seed int64) (Result, error) {
 	completed := 0
 	var total, lost float64
 	var failures int
-	for r := 0; r < runs && !censored; r++ {
+	for r := 0; r < runs; r++ {
 		t := 0.0    // wall clock
 		done := 0.0 // checkpointed useful work
+		runLost := 0.0
+		runFailures := 0
+		capped := false
 		nextFail := fail.Sample(rng)
 		for done < float64(c.Work) {
 			if t > wallCap {
-				censored = true
+				capped = true
 				break
 			}
 			seg := float64(c.Interval)
@@ -194,16 +203,27 @@ func (c Checkpoint) Simulate(runs int, seed int64) (Result, error) {
 			}
 			// Failure mid-segment: everything since the last checkpoint
 			// is lost.
-			failures++
+			runFailures++
 			workedBeforeFailure := nextFail - t
 			if workedBeforeFailure > seg {
 				workedBeforeFailure = seg // failure hit during the checkpoint write
 			}
-			lost += workedBeforeFailure
+			runLost += workedBeforeFailure
 			t = nextFail + float64(c.Restart)
 			nextFail = t + fail.Sample(rng)
 		}
+		if capped {
+			// The run was cut off mid-flight: its partial wall clock,
+			// failure count, and loss describe an unfinished execution,
+			// so blending them into the "completed" averages would bias
+			// every mean. Report the censoring and keep only finished
+			// runs in the statistics.
+			censored = true
+			break
+		}
 		total += t
+		lost += runLost
+		failures += runFailures
 		completed++
 	}
 	if completed == 0 {

@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -277,5 +279,129 @@ func BenchmarkCheckpointSimulate(b *testing.B) {
 		if _, err := c.Simulate(10, int64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// A run that hits the wall-clock cap is censored mid-flight; its partial
+// wall clock, failures, and lost work must be excluded from the means.
+// With this seed the first 9 runs complete and run 10 censors, so the
+// censored result must carry exactly the statistics of the 9 completed
+// runs (same seed => identical rng stream => bitwise-equal floats).
+func TestSimulateCensoredRunExcludedFromMeans(t *testing.T) {
+	c := Checkpoint{Work: 1000, Interval: 100, Overhead: 1, Restart: 1, MTBF: 16}
+	const seed = 4
+	censored, err := c.Simulate(10, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !censored.Censored {
+		t.Fatal("expected run 10 to censor; the seed hunt went stale")
+	}
+	clean, err := c.Simulate(9, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Censored {
+		t.Fatal("expected the first 9 runs to complete")
+	}
+	if censored.MeanCompletion != clean.MeanCompletion {
+		t.Errorf("censored MeanCompletion = %v, want the completed-runs mean %v",
+			censored.MeanCompletion, clean.MeanCompletion)
+	}
+	if censored.UsefulFraction != clean.UsefulFraction {
+		t.Errorf("censored UsefulFraction = %v, want %v", censored.UsefulFraction, clean.UsefulFraction)
+	}
+	if censored.MeanFailures != clean.MeanFailures {
+		t.Errorf("censored MeanFailures = %v, want %v", censored.MeanFailures, clean.MeanFailures)
+	}
+	if censored.MeanLostWork != clean.MeanLostWork {
+		t.Errorf("censored MeanLostWork = %v, want %v", censored.MeanLostWork, clean.MeanLostWork)
+	}
+	// Extra runs past the censoring run change nothing: the loop stops at
+	// the first censored run.
+	again, err := c.Simulate(30, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != censored {
+		t.Errorf("Simulate(30) = %+v, want identical to Simulate(10) = %+v", again, censored)
+	}
+}
+
+// If the very first run censors, no completed statistics exist at all:
+// the result must say Forever/censored, not report the partial run as a
+// completed mean (pre-fix it returned the wall-clock cap as the "mean").
+func TestSimulateCensoredFirstRunReportsForever(t *testing.T) {
+	c := Checkpoint{Work: 1e6, Interval: 1e6, Overhead: 10, Restart: 10, MTBF: 100}
+	res, err := c.Simulate(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Censored {
+		t.Fatal("a segment 10000x the MTBF must censor")
+	}
+	if res.MeanCompletion != sim.Forever {
+		t.Errorf("MeanCompletion = %v, want sim.Forever", res.MeanCompletion)
+	}
+	if res.UsefulFraction != 0 || res.MeanFailures != 0 || res.MeanLostWork != 0 {
+		t.Errorf("partial-run statistics leaked into the censored result: %+v", res)
+	}
+}
+
+// The non-censored path is pinned against values captured pre-fix: the
+// censored-accounting fix must not move any completed-runs number. The
+// tolerance is a few ulps — summing lost work per run before folding it
+// into the global accumulator reorders float additions without changing
+// any value materially.
+func TestSimulateNonCensoredPinned(t *testing.T) {
+	c := Checkpoint{
+		Work:     7 * 24 * 3600,
+		Interval: 4 * 3600,
+		Overhead: 300,
+		Restart:  600,
+		MTBF:     24 * 3600,
+	}
+	res, err := c.Simulate(200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Censored {
+		t.Fatal("unexpected censoring")
+	}
+	pin := func(got, want float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("%s = %v, want %v", what, got, want)
+		}
+	}
+	pin(float64(res.MeanCompletion), 679258.5262297462, "MeanCompletion")
+	pin(res.UsefulFraction, 0.8903826402547621, "UsefulFraction")
+	pin(res.MeanFailures, 8.045, "MeanFailures")
+	pin(float64(res.MeanLostWork), 57304.58982480323, "MeanLostWork")
+}
+
+// FirstFailureMean must reject runs <= 0 loudly instead of returning NaN
+// from the division and poisoning every downstream number.
+func TestFirstFailureMeanRejectsNonPositiveRuns(t *testing.T) {
+	s := System{Nodes: 4, Lifetime: stats.Exponential{Rate: 1}}
+	for _, runs := range []int{0, -1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("FirstFailureMean(%d) did not panic", runs)
+					return
+				}
+				if !strings.Contains(fmt.Sprint(r), "runs > 0") {
+					t.Errorf("FirstFailureMean(%d) panic message %q lacks guidance", runs, r)
+				}
+			}()
+			s.FirstFailureMean(runs, 1)
+		}()
+	}
+	// The valid path still works and is finite.
+	got := s.FirstFailureMean(100, 1)
+	if math.IsNaN(float64(got)) || got <= 0 {
+		t.Errorf("FirstFailureMean(100) = %v, want a positive finite time", got)
 	}
 }

@@ -24,7 +24,9 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"northstar/internal/sim"
@@ -43,10 +45,13 @@ type SuiteObserver struct {
 	start time.Time
 	total int
 
-	mu          sync.Mutex
-	done        int
-	totalFired  uint64
-	totalEvents uint64
+	mu            sync.Mutex
+	done          int
+	totalFired    uint64
+	totalEvents   uint64
+	totalFailures int64
+	totalRetries  int64
+	totalTimeouts int64
 
 	binding sync.Map // goroutine id (uint64) -> *KernelProbe
 }
@@ -90,16 +95,21 @@ func (o *SuiteObserver) Begin(total, workers int) {
 }
 
 // End removes the kernel hook and writes suite totals into the "suite"
-// scope (specs counter, host_seconds gauge, events_fired counter).
+// scope (specs/events/failures/retries/timeouts counters, host_seconds
+// gauge).
 func (o *SuiteObserver) End() {
 	sim.SetKernelHook(nil)
 	o.mu.Lock()
 	fired, scheduled := o.totalFired, o.totalEvents
+	failures, retries, timeouts := o.totalFailures, o.totalRetries, o.totalTimeouts
 	o.mu.Unlock()
 	s := o.registry.Scope("suite")
 	s.Add("specs", int64(o.total))
 	s.Add("events_fired", int64(fired))
 	s.Add("events_scheduled", int64(scheduled))
+	s.Add("failures", failures)
+	s.Add("retries", retries)
+	s.Add("timeouts", timeouts)
 	s.Set("host_seconds", time.Since(o.start).Seconds())
 }
 
@@ -111,44 +121,64 @@ func (o *SuiteObserver) attach(k *sim.Kernel) {
 	}
 }
 
-// StartSpec begins observing one experiment. It must be called on the
-// goroutine that will run the spec (the binding is per-goroutine), with
-// the worker index that goroutine represents. The returned SpecObs must
-// be closed with Done on the same goroutine.
+// StartSpec begins observing one experiment (first attempt). It must be
+// called on the goroutine that will run the spec (the binding is
+// per-goroutine), with the worker index that goroutine represents. The
+// returned SpecObs must be closed with Done on the same goroutine, or
+// with Abandon from a watchdog.
 func (o *SuiteObserver) StartSpec(id, title string, worker int) *SpecObs {
+	return o.StartAttempt(id, title, worker, 0)
+}
+
+// StartAttempt is StartSpec for retry attempt n (0 is the first try).
+// Every attempt gets its own SpecObs, probe, and trace slice; attempts
+// n > 0 count into the scope's and suite's "retries" counters when they
+// finish.
+func (o *SuiteObserver) StartAttempt(id, title string, worker, attempt int) *SpecObs {
 	so := &SpecObs{
-		o:      o,
-		id:     id,
-		title:  title,
-		worker: worker,
-		start:  time.Now(),
-		probe:  NewKernelProbe(),
+		o:       o,
+		id:      id,
+		title:   title,
+		worker:  worker,
+		attempt: attempt,
+		start:   time.Now(),
+		probe:   NewKernelProbe(),
 	}
 	o.binding.Store(goid(), so.probe)
 	return so
 }
 
-// SpecObs observes one experiment execution.
+// SpecObs observes one experiment attempt. Exactly one of Done or Abandon
+// finalizes it; whichever loses the race is a no-op, so a spec completing
+// just as its watchdog fires cannot double-publish.
 type SpecObs struct {
-	o      *SuiteObserver
-	id     string
-	title  string
-	worker int
-	start  time.Time
-	wall   time.Duration
-	failed bool
-	probe  *KernelProbe
+	o         *SuiteObserver
+	id        string
+	title     string
+	worker    int
+	attempt   int
+	start     time.Time
+	finished  atomic.Bool
+	wall      time.Duration
+	failed    bool
+	abandoned bool
+	probe     *KernelProbe
 }
 
 // Done finishes the observation: it unbinds the probe from the goroutine,
 // publishes the experiment's metrics into the registry scope named by the
 // spec id, records a trace slice on the worker's track, and prints a
-// progress line. err is the spec's failure, nil on success.
+// progress line. err is the spec's failure, nil on success. If the
+// attempt was already abandoned by a watchdog, Done only unbinds: the
+// suite has moved on, and a late result must not perturb its metrics.
 func (so *SpecObs) Done(err error) {
-	so.wall = time.Since(so.start)
-	so.failed = err != nil
 	o := so.o
 	o.binding.Delete(goid())
+	if !so.finished.CompareAndSwap(false, true) {
+		return // abandoned: the watchdog already finalized this attempt
+	}
+	so.wall = time.Since(so.start)
+	so.failed = err != nil
 
 	scope := o.registry.Scope(so.id)
 	so.probe.PublishTo(scope)
@@ -156,28 +186,45 @@ func (so *SpecObs) Done(err error) {
 	if so.failed {
 		scope.Add("failures", 1)
 	}
+	if so.attempt > 0 {
+		scope.Add("retries", 1)
+	}
 
 	if o.trace != nil {
-		o.trace.Span(so.id+": "+so.title, so.worker, so.start, so.wall, map[string]any{
+		o.trace.Span(so.spanName(), so.worker, so.start, so.wall, map[string]any{
 			"events_fired":    so.probe.Fired(),
 			"events_sched":    so.probe.Scheduled(),
 			"fastpath_hits":   so.probe.FastPathHits(),
 			"peak_pending":    so.probe.PeakPending(),
 			"virtual_seconds": so.probe.LastVirtualTime().Seconds(),
 			"failed":          so.failed,
+			"attempt":         so.attempt,
 		})
 	}
 
 	// The progress line prints under o.mu: the writer need not be
 	// concurrency-safe, and [n/total] counters appear in order.
 	o.mu.Lock()
-	o.done++
+	if so.attempt == 0 {
+		o.done++
+	}
 	o.totalFired += so.probe.Fired()
 	o.totalEvents += so.probe.Scheduled()
+	if so.failed {
+		o.totalFailures++
+	}
+	if so.attempt > 0 {
+		o.totalRetries++
+	}
 	if o.progress != nil {
 		status := "ok"
 		if so.failed {
-			status = "FAILED: " + err.Error()
+			// A panic error carries a multi-line stack; the progress
+			// stream gets the headline, the suite error the full text.
+			status = "FAILED: " + firstLine(err.Error())
+		}
+		if so.attempt > 0 {
+			status = fmt.Sprintf("(retry %d) %s", so.attempt, status)
 		}
 		fmt.Fprintf(o.progress, "[%2d/%d] %-4s %-42s %10s %12d events  %s\n",
 			o.done, o.total, so.id, so.title,
@@ -186,14 +233,95 @@ func (so *SpecObs) Done(err error) {
 	o.mu.Unlock()
 }
 
+// Abandon finalizes a hung attempt from outside its goroutine (the
+// runner's watchdog). It reports whether it won the finalization race:
+// false means Done already ran — the spec finished just under the wire —
+// and the caller should use the real result instead. An abandoned
+// attempt's probe stays untouched (the hung goroutine may still be
+// writing to it), so the summary shows no event counts for it; the
+// scope gains failures and timeouts counters and the trace a slice
+// marked timeout.
+func (so *SpecObs) Abandon(err error) bool {
+	if !so.finished.CompareAndSwap(false, true) {
+		return false
+	}
+	so.wall = time.Since(so.start)
+	so.failed = true
+	so.abandoned = true
+	o := so.o
+
+	scope := o.registry.Scope(so.id)
+	scope.Set("host_seconds", so.wall.Seconds())
+	scope.Add("failures", 1)
+	scope.Add("timeouts", 1)
+	if so.attempt > 0 {
+		scope.Add("retries", 1)
+	}
+
+	if o.trace != nil {
+		o.trace.Span(so.spanName(), so.worker, so.start, so.wall, map[string]any{
+			"failed":  true,
+			"timeout": true,
+			"attempt": so.attempt,
+		})
+	}
+
+	o.mu.Lock()
+	if so.attempt == 0 {
+		o.done++
+	}
+	o.totalFailures++
+	o.totalTimeouts++
+	if so.attempt > 0 {
+		o.totalRetries++
+	}
+	if o.progress != nil {
+		status := "TIMEOUT: " + firstLine(err.Error())
+		if so.attempt > 0 {
+			status = fmt.Sprintf("(retry %d) %s", so.attempt, status)
+		}
+		fmt.Fprintf(o.progress, "[%2d/%d] %-4s %-42s %10s %12s events  %s\n",
+			o.done, o.total, so.id, so.title,
+			so.wall.Round(time.Microsecond), "-", status)
+	}
+	o.mu.Unlock()
+	return true
+}
+
+func (so *SpecObs) spanName() string {
+	if so.attempt > 0 {
+		return fmt.Sprintf("%s: %s (retry %d)", so.id, so.title, so.attempt)
+	}
+	return so.id + ": " + so.title
+}
+
+// firstLine truncates s at its first newline.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // ID returns the observed spec's id.
 func (so *SpecObs) ID() string { return so.id }
 
-// Wall returns the spec's host wall-clock duration (valid after Done).
+// Attempt returns the attempt number this SpecObs observed (0 = first).
+func (so *SpecObs) Attempt() int { return so.attempt }
+
+// Wall returns the spec's host wall-clock duration (valid after Done or
+// Abandon).
 func (so *SpecObs) Wall() time.Duration { return so.wall }
 
-// Failed reports whether the spec returned an error (valid after Done).
+// Failed reports whether the spec returned an error (valid after Done or
+// Abandon).
 func (so *SpecObs) Failed() bool { return so.failed }
 
+// Abandoned reports whether the attempt was finalized by a watchdog
+// rather than by its own Done. An abandoned attempt's probe counters are
+// not safe to read: its goroutine may still be running.
+func (so *SpecObs) Abandoned() bool { return so.abandoned }
+
 // Probe returns the spec's kernel probe with its accumulated counters.
+// Do not read it for an Abandoned observation.
 func (so *SpecObs) Probe() *KernelProbe { return so.probe }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -266,5 +267,109 @@ func TestGoidStablePerGoroutine(t *testing.T) {
 	go func() { ch <- goid() }()
 	if other := <-ch; other == a {
 		t.Fatalf("distinct goroutines share id %d", a)
+	}
+}
+
+// Abandon and Done race for the same attempt; exactly one wins. The
+// winner publishes, the loser is a no-op, so a spec finishing just as
+// its watchdog fires cannot double-count into the registry.
+func TestSpecObsAbandonThenLateDone(t *testing.T) {
+	var progress bytes.Buffer
+	o := NewSuiteObserver(nil, NewTrace(), &progress)
+	o.Begin(1, 1)
+	so := o.StartSpec("A", "hangs", 0)
+	if !so.Abandon(errors.New("deadline")) {
+		t.Fatal("Abandon on a live attempt returned false")
+	}
+	// The hung goroutine eventually returns and calls Done: no-op.
+	so.Done(nil)
+	o.End()
+
+	if !so.Abandoned() || !so.Failed() {
+		t.Error("abandoned attempt not marked abandoned+failed")
+	}
+	scope := o.Registry().Scope("A")
+	if got := scope.Counter("timeouts"); got != 1 {
+		t.Errorf("timeouts = %d, want 1", got)
+	}
+	if got := scope.Counter("failures"); got != 1 {
+		t.Errorf("failures = %d, want 1 (late Done must not flip or double-count)", got)
+	}
+	if got := scope.Counter("events_fired"); got != 0 {
+		t.Errorf("events_fired = %d, want 0 (late Done must not publish the probe)", got)
+	}
+	if got := o.Registry().Scope("suite").Counter("timeouts"); got != 1 {
+		t.Errorf("suite timeouts = %d, want 1", got)
+	}
+	if !strings.Contains(progress.String(), "TIMEOUT") {
+		t.Errorf("progress line missing TIMEOUT: %q", progress.String())
+	}
+	if got := strings.Count(progress.String(), "\n"); got != 1 {
+		t.Errorf("progress lines = %d, want 1 (late Done must not print)", got)
+	}
+}
+
+// Done before Abandon: the real result wins and Abandon reports it lost.
+func TestSpecObsDoneBeatsAbandon(t *testing.T) {
+	o := NewSuiteObserver(nil, nil, nil)
+	o.Begin(1, 1)
+	so := o.StartSpec("A", "fast", 0)
+	so.Done(nil)
+	if so.Abandon(errors.New("deadline")) {
+		t.Fatal("Abandon after Done returned true")
+	}
+	o.End()
+	if so.Abandoned() || so.Failed() {
+		t.Error("completed attempt wrongly marked abandoned or failed")
+	}
+	if got := o.Registry().Scope("A").Counter("timeouts"); got != 0 {
+		t.Errorf("timeouts = %d, want 0", got)
+	}
+}
+
+// Retry attempts (attempt > 0) count into the scope's and suite's
+// retries counters and are labeled in the progress stream.
+func TestSpecObsRetryAttemptCounted(t *testing.T) {
+	var progress bytes.Buffer
+	o := NewSuiteObserver(nil, nil, &progress)
+	o.Begin(1, 1)
+	first := o.StartAttempt("A", "flaky", 0, 0)
+	first.Done(errors.New("transient"))
+	second := o.StartAttempt("A", "flaky", 0, 1)
+	second.Done(nil)
+	o.End()
+
+	if first.Attempt() != 0 || second.Attempt() != 1 {
+		t.Fatalf("attempts = %d,%d, want 0,1", first.Attempt(), second.Attempt())
+	}
+	scope := o.Registry().Scope("A")
+	if got := scope.Counter("retries"); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := scope.Counter("failures"); got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+	if got := o.Registry().Scope("suite").Counter("retries"); got != 1 {
+		t.Errorf("suite retries = %d, want 1", got)
+	}
+	if !strings.Contains(progress.String(), "(retry 1)") {
+		t.Errorf("progress missing retry label:\n%s", progress.String())
+	}
+}
+
+// A multi-line failure (panic stack) must reach the progress stream as a
+// single headline line, not a stack dump per spec.
+func TestProgressTruncatesMultilineErrors(t *testing.T) {
+	var progress bytes.Buffer
+	o := NewSuiteObserver(nil, nil, &progress)
+	o.Begin(1, 1)
+	so := o.StartSpec("A", "panics", 0)
+	so.Done(errors.New("boom\ngoroutine 7 [running]:\nmain.explode()"))
+	o.End()
+	if got := strings.Count(progress.String(), "\n"); got != 1 {
+		t.Fatalf("progress lines = %d, want 1:\n%s", got, progress.String())
+	}
+	if !strings.Contains(progress.String(), "FAILED: boom") {
+		t.Fatalf("progress lost the headline: %q", progress.String())
 	}
 }

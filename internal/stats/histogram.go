@@ -50,6 +50,11 @@ func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
 // power-of-two depth counts) publish into a histogram without replaying
 // every observation.
 func (h *Histogram) AddN(x float64, n int) {
+	if n <= 0 {
+		// A negative n would silently corrupt total and bucket counts;
+		// fail loudly, like the constructors do on a bad range.
+		panic(fmt.Sprintf("stats: histogram AddN needs n > 0, got %d", n))
+	}
 	h.total += n
 	switch {
 	case x < h.lo:

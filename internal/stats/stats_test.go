@@ -161,6 +161,30 @@ func TestHistogramAddN(t *testing.T) {
 	}
 }
 
+// AddN must reject n <= 0 loudly: a negative n would silently corrupt
+// total and bucket counts, so it panics like the constructors do.
+func TestHistogramAddNRejectsNonPositiveN(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddN(x, %d) did not panic", n)
+				}
+			}()
+			NewHistogram(0, 10, 5).AddN(3, n)
+		}()
+	}
+	// Counts are untouched by a rejected call.
+	h := NewHistogram(0, 10, 5)
+	func() {
+		defer func() { recover() }()
+		h.AddN(3, -7)
+	}()
+	if h.Count() != 0 || h.Bucket(1) != 0 {
+		t.Fatalf("rejected AddN mutated the histogram: count=%d", h.Count())
+	}
+}
+
 // Property: histogram never loses observations.
 func TestHistogramConservationProperty(t *testing.T) {
 	prop := func(xs []float64) bool {
