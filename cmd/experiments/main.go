@@ -52,41 +52,65 @@ import (
 	"northstar/internal/obs"
 )
 
-func main() { os.Exit(run()) }
-
-func run() int {
+func main() {
 	// Without a handler, Go re-raises SIGPIPE on a broken stdout and the
 	// process dies mid-table with no diagnostic. Catching it turns the
 	// broken pipe into an EPIPE write error that propagates through
 	// Table.Fprint and the runner to a clean non-zero exit.
 	signal.Notify(make(chan os.Signal, 1), syscall.SIGPIPE)
-	quick := flag.Bool("quick", false, "shrink sweeps for fast runs")
-	id := flag.String("id", "", "run only this experiment (e.g. E7)")
-	csvDir := flag.String("csv", "", "also write CSV files into this directory")
-	par := flag.Int("par", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
-	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
-	metricsFile := flag.String("metrics", "", "write a metrics snapshot JSON to this file")
-	progress := flag.Bool("progress", false, "print live per-spec status lines to stderr")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
-	specTimeout := flag.Duration("spec-timeout", 0, "per-experiment wall-clock budget; 0 disables the watchdog")
-	retries := flag.Int("retries", 0, "re-run a failed experiment up to this many extra times")
-	faultinject := flag.Bool("faultinject", false, "dev/CI: append synthetic misbehaving specs (implies -spec-timeout 10s if unset)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind the process boundary: it parses args,
+// runs the suite, and returns the exit status, writing tables to stdout
+// and diagnostics to stderr. Keeping it free of os.Exit and package-level
+// flag state makes the exit-code contract — 0 clean, 1 failed run or bad
+// arguments, 2 flag errors — directly testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "shrink sweeps for fast runs")
+	id := fs.String("id", "", "run only this experiment (e.g. E7)")
+	csvDir := fs.String("csv", "", "also write CSV files into this directory")
+	par := fs.Int("par", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
+	metricsFile := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
+	progress := fs.Bool("progress", false, "print live per-spec status lines to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	specTimeout := fs.Duration("spec-timeout", 0, "per-experiment wall-clock budget; 0 disables the watchdog")
+	retries := fs.Int("retries", 0, "re-run a failed experiment up to this many extra times")
+	faultinject := fs.Bool("faultinject", false, "dev/CI: append synthetic misbehaving specs (implies -spec-timeout 10s if unset)")
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the diagnostic and usage
+	}
+	// The -par default of 0 means "one worker per CPU", but that is a
+	// default, not a request: an explicit -par below 1 is a typo'd worker
+	// count, and silently running it at full parallelism would hide it.
+	parSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "par" {
+			parSet = true
+		}
+	})
+	if parSet && *par < 1 {
+		fmt.Fprintf(stderr, "experiments: -par %d: worker count must be at least 1\n", *par)
+		return 2
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -99,9 +123,9 @@ func run() int {
 		if *traceFile != "" {
 			trace = obs.NewTrace()
 		}
-		var progressW *os.File
+		var progressW io.Writer
 		if *progress {
-			progressW = os.Stderr
+			progressW = stderr
 		}
 		observer = obs.NewSuiteObserver(nil, trace, progressW)
 	}
@@ -110,7 +134,7 @@ func run() int {
 	if *id != "" {
 		s, err := experiments.ByID(*id)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		specs = []experiments.Spec{s}
 	}
@@ -132,13 +156,13 @@ func run() int {
 		Retries:     *retries,
 	}
 	if observer != nil {
-		opts.Summary = os.Stderr
+		opts.Summary = stderr
 	}
-	tables, runErr := experiments.RunSpecs(os.Stdout, specs, opts)
+	tables, runErr := experiments.RunSpecs(stdout, specs, opts)
 
 	status := 0
 	if runErr != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		fmt.Fprintln(stderr, "experiments:", runErr)
 		status = 1
 	}
 	if *csvDir != "" {
@@ -147,32 +171,32 @@ func run() int {
 				continue // failed experiment; reported via runErr
 			}
 			if err := writeCSV(*csvDir, t); err != nil {
-				return fail(err)
+				return fail(stderr, err)
 			}
 		}
 	}
 	if trace != nil {
 		if err := writeFileWith(*traceFile, trace.WriteJSON); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	}
 	if observer != nil && *metricsFile != "" {
 		if err := writeFileWith(*metricsFile, observer.Registry().WriteJSON); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			f.Close()
-			return fail(err)
+			return fail(stderr, err)
 		}
 		if err := f.Close(); err != nil {
-			return fail(err)
+			return fail(stderr, err)
 		}
 	}
 	return status
@@ -202,7 +226,7 @@ func writeFileWith(path string, write func(w io.Writer) error) error {
 	return f.Close()
 }
 
-func fail(err error) int {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "experiments:", err)
 	return 1
 }

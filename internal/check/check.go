@@ -1,0 +1,59 @@
+// Package check is the verification layer over the experiment suite: it
+// declares, per experiment, the invariants the science must keep —
+// monotonicities, physical bounds, internal consistencies — and provides
+// the machinery to run them against both the committed golden corpus and
+// live suite output.
+//
+// The golden corpus (internal/experiments/testdata/golden) pins every
+// table byte-for-byte, which catches *any* drift but says nothing about
+// which drifts matter. The invariants here encode the qualitative claims
+// each table exists to demonstrate (EXPERIMENTS.md "expected shape"
+// notes): efficiency lives in (0,1], MTBF falls as node count rises,
+// Young's interval dominates Daly's, the E7 winner column really names
+// the cheaper fabric. A refactor that legitimately moves numbers
+// regenerates the goldens with `go test ./internal/experiments -run
+// Golden -update` (or scripts/golden.sh) — and the invariants are the
+// mechanical reviewer that the regenerated numbers still tell the same
+// story.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"northstar/internal/experiments"
+)
+
+// Invariant is one named predicate over an experiment table.
+type Invariant struct {
+	// Name identifies the invariant in failure messages, e.g.
+	// "monotone(year, increasing)".
+	Name string
+	// Check returns nil if the table satisfies the invariant.
+	Check func(t *experiments.Table) error
+}
+
+// Apply runs every invariant against the table and joins the failures
+// (nil if all hold). Each failure message carries the table ID and the
+// invariant name, so a joined error from a whole-suite sweep still reads.
+func Apply(t *experiments.Table, invs []Invariant) error {
+	var errs []error
+	for _, inv := range invs {
+		if err := inv.Check(t); err != nil {
+			errs = append(errs, fmt.Errorf("check: %s: %s: %w", t.ID, inv.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// column returns the index of the named column, or an error naming the
+// available columns — invariant declarations are written by hand, and a
+// typo must fail loudly, not vacuously pass.
+func column(t *experiments.Table, name string) (int, error) {
+	for i, c := range t.Columns {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no column %q (have %v)", name, t.Columns)
+}

@@ -1,0 +1,233 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"northstar/internal/experiments"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		cell string
+		want float64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"4.80", 4.8, true},
+		{"5.79e-08", 5.79e-8, true},
+		{"-3.5", -3.5, true},
+		{"0", 0, true},
+		{"1e+03", 1000, true},
+		{"50µs", 50 * 1e-6, true},
+		{"50us", 50 * 1e-6, true},
+		{"3ns", 3 * 1e-9, true},
+		{"1.5ms", 1.5e-3, true},
+		{"5.88s", 5.88, true},
+		{"83.85min", 83.85 * 60, true},
+		{"2.93h", 2.93 * 3600, true},
+		{"7.812d", 7.812 * 86400, true},
+		{"forever", math.Inf(1), true},
+		{" 42 ", 42, true},
+		{"", 0, false},
+		{"-", 0, false},
+		{"conventional", 0, false},
+		{"unbounded (saturated)", 0, false},
+		{"> 2020", 0, false},
+		{"mind", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseValue(c.cell)
+		// Unit conversion multiplies at runtime, so allow one ulp of
+		// drift against the test's constant-folded expectations.
+		close := got == c.want || math.Abs(got-c.want) <= 1e-12*math.Abs(c.want)
+		if ok != c.ok || (ok && !close) {
+			t.Errorf("ParseValue(%q) = %g, %v; want %g, %v", c.cell, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// ParseTable must invert Fprint for the committed table format,
+// including Missing cells, single spaces inside cells, and notes.
+func TestParseTableRoundTrip(t *testing.T) {
+	orig := &experiments.Table{
+		ID:      "T1",
+		Title:   "round trip: a title, with punctuation",
+		Columns: []string{"nodes", "flat-detect", "sim"},
+		Notes:   []string{"first note", "second note: with colon"},
+	}
+	orig.AddRow("128", "unbounded (saturated)", "-")
+	orig.AddRow("1024", "3.05s", "1.53s")
+
+	got, err := ParseTable(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != orig.ID || got.Title != orig.Title {
+		t.Errorf("parsed header %q/%q, want %q/%q", got.ID, got.Title, orig.ID, orig.Title)
+	}
+	if strings.Join(got.Columns, "|") != strings.Join(orig.Columns, "|") {
+		t.Errorf("parsed columns %v, want %v", got.Columns, orig.Columns)
+	}
+	if len(got.Rows) != len(orig.Rows) {
+		t.Fatalf("parsed %d rows, want %d", len(got.Rows), len(orig.Rows))
+	}
+	for r := range orig.Rows {
+		if strings.Join(got.Rows[r], "|") != strings.Join(orig.Rows[r], "|") {
+			t.Errorf("row %d parsed %v, want %v", r, got.Rows[r], orig.Rows[r])
+		}
+	}
+	if strings.Join(got.Notes, "|") != strings.Join(orig.Notes, "|") {
+		t.Errorf("parsed notes %v, want %v", got.Notes, orig.Notes)
+	}
+	// The parsed table re-renders to the same bytes: parsing is lossless
+	// for corpus files.
+	if got.String() != orig.String() {
+		t.Errorf("re-rendered table differs:\n%s\nvs\n%s", got.String(), orig.String())
+	}
+}
+
+func TestParseTableRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"empty":       "",
+		"no-header":   "columns\n----\n1\n",
+		"no-id":       "== just a title ==\ncol\n---\n",
+		"no-rule":     "== T: t ==\na  b\n1  2\n",
+		"ragged-row":  "== T: t ==\na  b\n------\n1  2  3\n",
+		"missing-col": "== T: t ==\n\n----\n",
+	} {
+		if _, err := ParseTable(text); err == nil {
+			t.Errorf("%s: ParseTable accepted malformed input %q", name, text)
+		}
+	}
+}
+
+// table builds a quick test table with one column per name and the given
+// string rows.
+func table(cols []string, rows ...[]string) *experiments.Table {
+	return &experiments.Table{ID: "T", Title: "test", Columns: cols, Rows: rows}
+}
+
+func TestMonotone(t *testing.T) {
+	up := table([]string{"v"}, []string{"1"}, []string{"2"}, []string{"2"}, []string{"3"})
+	if err := Apply(up, []Invariant{Monotone("v", Increasing, false)}); err != nil {
+		t.Errorf("nondecreasing rejected: %v", err)
+	}
+	if err := Apply(up, []Invariant{Monotone("v", Increasing, true)}); err == nil {
+		t.Error("strict increasing accepted a plateau")
+	}
+	if err := Apply(up, []Invariant{Monotone("v", Decreasing, false)}); err == nil {
+		t.Error("decreasing accepted an increasing column")
+	}
+	down := table([]string{"t"}, []string{"2.93h"}, []string{"83.85min"}, []string{"-"}, []string{"5.88s"})
+	if err := Apply(down, []Invariant{Monotone("t", Decreasing, true)}); err != nil {
+		t.Errorf("time-suffixed strictly decreasing column with a Missing cell rejected: %v", err)
+	}
+	text := table([]string{"v"}, []string{"1"}, []string{"oops"})
+	if err := Apply(text, []Invariant{Monotone("v", Increasing, false)}); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+	if err := Apply(up, []Invariant{Monotone("missing", Increasing, false)}); err == nil {
+		t.Error("unknown column accepted — a typo in a declaration must fail, not pass vacuously")
+	}
+}
+
+func TestRangeInvariants(t *testing.T) {
+	tab := table([]string{"eff", "cost", "slow"},
+		[]string{"1.000", "263", "1.00"},
+		[]string{"0.189", "4.00", "45.66"})
+	if err := Apply(tab, []Invariant{UnitInterval("eff"), Positive("cost"), AtLeast("slow", 1)}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	bad := table([]string{"eff"}, []string{"0"})
+	if err := Apply(bad, []Invariant{UnitInterval("eff")}); err == nil {
+		t.Error("efficiency of exactly 0 accepted by (0,1]")
+	}
+	if err := Apply(table([]string{"eff"}, []string{"1.01"}), []Invariant{UnitInterval("eff")}); err == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	if err := Apply(table([]string{"cost"}, []string{"-1"}), []Invariant{NonNegative("cost")}); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestRowInvariants(t *testing.T) {
+	tab := table([]string{"p95", "mean"}, []string{"8950", "4261"}, []string{"2095", "491"})
+	if err := Apply(tab, []Invariant{RowGE("p95", "mean")}); err != nil {
+		t.Errorf("dominating column rejected: %v", err)
+	}
+	if err := Apply(tab, []Invariant{RowGE("mean", "p95")}); err == nil {
+		t.Error("dominated column accepted")
+	}
+	ratio := table([]string{"sim", "young"}, []string{"4.526h", "5.59h"}, []string{"35.73min", "41.93min"})
+	if err := Apply(ratio, []Invariant{RowRatioWithin("sim", "young", 2)}); err != nil {
+		t.Errorf("in-band ratio rejected: %v", err)
+	}
+	if err := Apply(ratio, []Invariant{RowRatioWithin("sim", "young", 1.05)}); err == nil {
+		t.Error("out-of-band ratio accepted")
+	}
+	across := table([]string{"P=2", "P=8", "P=32"}, []string{"65.00", "195", "325"})
+	if err := Apply(across, []Invariant{AcrossRow("P=2", "P=8", "P=32")}); err != nil {
+		t.Errorf("nondecreasing sweep rejected: %v", err)
+	}
+	if err := Apply(across, []Invariant{AcrossRow("P=32", "P=2")}); err == nil {
+		t.Error("decreasing sweep accepted")
+	}
+}
+
+func TestShapeInvariants(t *testing.T) {
+	tab := table([]string{"a", "b"}, []string{"x", "1"})
+	if err := Apply(tab, []Invariant{Columns("a", "b"), MinRows(1), OneOf("a", "x", "y"), ColumnConst("b", "1")}); err != nil {
+		t.Errorf("matching shape rejected: %v", err)
+	}
+	for _, inv := range []Invariant{
+		Columns("a"),
+		Columns("b", "a"),
+		MinRows(2),
+		OneOf("a", "y", "z"),
+		ColumnConst("b", "2"),
+		Numeric("a"),
+	} {
+		if err := Apply(tab, []Invariant{inv}); err == nil {
+			t.Errorf("%s accepted a table violating it", inv.Name)
+		}
+	}
+}
+
+// Apply must report every failing invariant, not stop at the first, and
+// name the table and invariant in each.
+func TestApplyJoinsFailures(t *testing.T) {
+	tab := table([]string{"v"}, []string{"-5"})
+	err := Apply(tab, []Invariant{Positive("v"), Monotone("v", Increasing, true), MinRows(3)})
+	if err == nil {
+		t.Fatal("no error for failing table")
+	}
+	msg := err.Error()
+	for _, want := range []string{"positive(v)", "min-rows(3)", "check: T:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "monotone") {
+		t.Errorf("joined error %q reports monotone, which a 1-row column satisfies", msg)
+	}
+}
+
+// Every experiment in the suite must have a declaration, and every
+// declaration must name a real experiment: the registry and the suite
+// move together.
+func TestRegistryCoversSuite(t *testing.T) {
+	suite := make(map[string]bool)
+	for _, s := range experiments.All() {
+		suite[s.ID] = true
+		if len(For(s.ID)) == 0 {
+			t.Errorf("experiment %s has no declared invariants", s.ID)
+		}
+	}
+	for _, id := range IDs() {
+		if !suite[id] {
+			t.Errorf("declaration for %s names no experiment in the suite", id)
+		}
+	}
+}

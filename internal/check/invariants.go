@@ -1,0 +1,323 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"northstar/internal/experiments"
+)
+
+// Direction orients a Monotone invariant.
+type Direction int
+
+const (
+	Increasing Direction = iota
+	Decreasing
+)
+
+func (d Direction) String() string {
+	if d == Decreasing {
+		return "decreasing"
+	}
+	return "increasing"
+}
+
+// Columns asserts the table has exactly the given column header, in
+// order. It is the schema pin: renaming or reordering columns is a
+// corpus-visible change and must show up here too.
+func Columns(cols ...string) Invariant {
+	return Invariant{
+		Name: "columns",
+		Check: func(t *experiments.Table) error {
+			if len(t.Columns) != len(cols) {
+				return fmt.Errorf("have %d columns %v, want %d %v", len(t.Columns), t.Columns, len(cols), cols)
+			}
+			for i, c := range cols {
+				if t.Columns[i] != c {
+					return fmt.Errorf("column %d is %q, want %q", i, t.Columns[i], c)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// MinRows asserts the table has at least n rows — quick mode shrinks
+// sweeps, but an experiment that stops producing rows proves nothing.
+func MinRows(n int) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("min-rows(%d)", n),
+		Check: func(t *experiments.Table) error {
+			if len(t.Rows) < n {
+				return fmt.Errorf("have %d rows, want >= %d", len(t.Rows), n)
+			}
+			return nil
+		},
+	}
+}
+
+// numericColumn extracts the parsed values of a column, skipping Missing
+// cells, and fails on any cell that is neither numeric nor Missing.
+func numericColumn(t *experiments.Table, col string) ([]float64, error) {
+	ci, err := column(t, col)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, 0, len(t.Rows))
+	for r, row := range t.Rows {
+		if row[ci] == Missing {
+			continue
+		}
+		v, ok := ParseValue(row[ci])
+		if !ok {
+			return nil, fmt.Errorf("row %d cell %q is not numeric", r, row[ci])
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// Numeric asserts every cell of the column parses as a number (Missing
+// cells excepted).
+func Numeric(col string) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("numeric(%s)", col),
+		Check: func(t *experiments.Table) error {
+			_, err := numericColumn(t, col)
+			return err
+		},
+	}
+}
+
+// InRange asserts every value of the column lies in (lo, hi] bounds:
+// loExcl excludes lo itself. Use the named wrappers below for the
+// common physical bounds.
+func InRange(col string, lo, hi float64, loExcl bool) Invariant {
+	bound := "["
+	if loExcl {
+		bound = "("
+	}
+	return Invariant{
+		Name: fmt.Sprintf("range(%s in %s%g, %g])", col, bound, lo, hi),
+		Check: func(t *experiments.Table) error {
+			vals, err := numericColumn(t, col)
+			if err != nil {
+				return err
+			}
+			for _, v := range vals {
+				if v < lo || v > hi || (loExcl && v == lo) {
+					return fmt.Errorf("value %g outside %s%g, %g]", v, bound, lo, hi)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Positive asserts every value of the column is > 0 — costs, latencies,
+// bandwidths, node counts.
+func Positive(col string) Invariant {
+	inv := InRange(col, 0, math.Inf(1), true)
+	inv.Name = fmt.Sprintf("positive(%s)", col)
+	return inv
+}
+
+// NonNegative asserts every value of the column is >= 0.
+func NonNegative(col string) Invariant {
+	inv := InRange(col, 0, math.Inf(1), false)
+	inv.Name = fmt.Sprintf("non-negative(%s)", col)
+	return inv
+}
+
+// UnitInterval asserts the column is a fraction in (0, 1] — efficiency,
+// availability, useful-work share.
+func UnitInterval(col string) Invariant {
+	inv := InRange(col, 0, 1, true)
+	inv.Name = fmt.Sprintf("unit-interval(%s)", col)
+	return inv
+}
+
+// AtLeast asserts every value of the column is >= lo (slowdowns >= 1,
+// over-allocation >= 1).
+func AtLeast(col string, lo float64) Invariant {
+	inv := InRange(col, lo, math.Inf(1), false)
+	inv.Name = fmt.Sprintf("at-least(%s, %g)", col, lo)
+	return inv
+}
+
+// Monotone asserts the column's values are ordered top to bottom in the
+// given direction; strict additionally forbids equal neighbors. Missing
+// cells are skipped (the order is over the cells that exist). Year and
+// scale columns are strict; derived quantities that can plateau under
+// rounding are non-strict.
+func Monotone(col string, dir Direction, strict bool) Invariant {
+	kind := ""
+	if strict {
+		kind = ", strict"
+	}
+	return Invariant{
+		Name: fmt.Sprintf("monotone(%s, %s%s)", col, dir, kind),
+		Check: func(t *experiments.Table) error {
+			vals, err := numericColumn(t, col)
+			if err != nil {
+				return err
+			}
+			for i := 1; i < len(vals); i++ {
+				a, b := vals[i-1], vals[i]
+				if dir == Decreasing {
+					a, b = b, a
+				}
+				if a > b || (strict && a == b) {
+					return fmt.Errorf("values %g then %g break %s%s order", vals[i-1], vals[i], dir, kind)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RowGE asserts hi >= lo in every row — e.g. the p95 wait versus the
+// mean wait, or Young's interval versus Daly's. Rows where either cell
+// is Missing or non-numeric are skipped.
+func RowGE(hi, lo string) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("row(%s >= %s)", hi, lo),
+		Check: func(t *experiments.Table) error {
+			hiI, err := column(t, hi)
+			if err != nil {
+				return err
+			}
+			loI, err := column(t, lo)
+			if err != nil {
+				return err
+			}
+			for r, row := range t.Rows {
+				hv, hok := ParseValue(row[hiI])
+				lv, lok := ParseValue(row[loI])
+				if !hok || !lok {
+					continue
+				}
+				if hv < lv {
+					return fmt.Errorf("row %d: %s=%g < %s=%g", r, hi, hv, lo, lv)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// AcrossRow asserts each row's values are nondecreasing left to right
+// over the named columns — e.g. collective latency over the P=2..P=1024
+// sweep columns.
+func AcrossRow(cols ...string) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("across-row(%s nondecreasing)", strings.Join(cols, " <= ")),
+		Check: func(t *experiments.Table) error {
+			idx := make([]int, len(cols))
+			for i, c := range cols {
+				ci, err := column(t, c)
+				if err != nil {
+					return err
+				}
+				idx[i] = ci
+			}
+			for r, row := range t.Rows {
+				prev := math.Inf(-1)
+				for i, ci := range idx {
+					v, ok := ParseValue(row[ci])
+					if !ok {
+						continue
+					}
+					if v < prev {
+						return fmt.Errorf("row %d: %s=%g < %s=%g", r, cols[i], v, cols[i-1], prev)
+					}
+					prev = v
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RowRatioWithin asserts a/b lies in [1/factor, factor] in every row —
+// the "same order of magnitude" band for quantities that should track an
+// analytic prediction (e.g. the simulated optimal checkpoint interval
+// versus Young's formula). Rows with Missing or non-numeric cells are
+// skipped.
+func RowRatioWithin(a, b string, factor float64) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("ratio(%s/%s within %gx)", a, b, factor),
+		Check: func(t *experiments.Table) error {
+			ai, err := column(t, a)
+			if err != nil {
+				return err
+			}
+			bi, err := column(t, b)
+			if err != nil {
+				return err
+			}
+			for r, row := range t.Rows {
+				av, aok := ParseValue(row[ai])
+				bv, bok := ParseValue(row[bi])
+				if !aok || !bok || bv == 0 {
+					continue
+				}
+				if ratio := av / bv; ratio < 1/factor || ratio > factor {
+					return fmt.Errorf("row %d: %s/%s = %g outside [%g, %g]", r, a, b, ratio, 1/factor, factor)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// OneOf asserts every cell of the column is one of the allowed strings —
+// enumerations like policy or fabric names.
+func OneOf(col string, allowed ...string) Invariant {
+	set := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		set[a] = true
+	}
+	return Invariant{
+		Name: fmt.Sprintf("one-of(%s)", col),
+		Check: func(t *experiments.Table) error {
+			ci, err := column(t, col)
+			if err != nil {
+				return err
+			}
+			for r, row := range t.Rows {
+				if !set[row[ci]] {
+					return fmt.Errorf("row %d cell %q not in %v", r, row[ci], allowed)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ColumnConst asserts every cell of the column is exactly the given
+// string — e.g. E4's normalization column, which is 1.00 by construction.
+func ColumnConst(col, want string) Invariant {
+	return Invariant{
+		Name: fmt.Sprintf("const(%s == %s)", col, want),
+		Check: func(t *experiments.Table) error {
+			ci, err := column(t, col)
+			if err != nil {
+				return err
+			}
+			for r, row := range t.Rows {
+				if row[ci] != want {
+					return fmt.Errorf("row %d cell %q, want %q", r, row[ci], want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Custom wraps an arbitrary predicate as a named invariant, for
+// experiment-specific semantics the combinators don't cover.
+func Custom(name string, fn func(t *experiments.Table) error) Invariant {
+	return Invariant{Name: name, Check: fn}
+}

@@ -1,0 +1,125 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"northstar/internal/experiments"
+)
+
+// Missing is the cell value tables use for "no measurement here" (for
+// example X5's tree-detect-simulated column at scales the quick sweep
+// skips). Numeric invariants skip missing cells instead of failing.
+const Missing = "-"
+
+// timeSuffixes maps sim.Time.String unit suffixes to seconds, longest
+// suffix first so "min" wins over "n"+"s" misreads and "ms" over "s".
+var timeSuffixes = []struct {
+	suffix string
+	scale  float64
+}{
+	{"min", 60},
+	{"ns", 1e-9},
+	{"µs", 1e-6},
+	{"us", 1e-6},
+	{"ms", 1e-3},
+	{"s", 1},
+	{"h", 3600},
+	{"d", 86400},
+}
+
+// ParseValue parses a table cell as a number. Plain floats parse as
+// themselves; sim.Time renderings ("83.85min", "7.812d", "50µs") parse
+// to seconds, so time columns compare on one scale; "forever" parses to
+// +Inf. The second result reports whether the cell was numeric at all —
+// labels like "conventional" or "unbounded (saturated)" are not errors,
+// just not numbers.
+func ParseValue(cell string) (float64, bool) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || cell == Missing {
+		return 0, false
+	}
+	if cell == "forever" {
+		return math.Inf(1), true
+	}
+	if v, err := strconv.ParseFloat(cell, 64); err == nil {
+		return v, true
+	}
+	for _, ts := range timeSuffixes {
+		if num, ok := strings.CutSuffix(cell, ts.suffix); ok {
+			if v, err := strconv.ParseFloat(num, 64); err == nil {
+				return v * ts.scale, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ParseTable parses the rendered text form of a table (what Fprint
+// writes and the golden corpus stores) back into a Table. It understands
+// exactly the committed format:
+//
+//	== ID: title ==
+//	col1  col2 ...
+//	------------...
+//	cell  cell ...
+//	note: ...
+//	<blank line>
+//
+// Cells are split on runs of two or more spaces (single spaces stay
+// inside a cell: "unbounded (saturated)" is one value). Parsing the
+// committed goldens — rather than re-running the experiment — lets the
+// invariant sweep catch a hand-edited or corrupted corpus file even when
+// the generator would have produced something else.
+func ParseTable(text string) (*experiments.Table, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) < 3 {
+		return nil, fmt.Errorf("check: table text has %d lines, need header, columns, rule", len(lines))
+	}
+	header := lines[0]
+	if !strings.HasPrefix(header, "== ") || !strings.HasSuffix(header, " ==") {
+		return nil, fmt.Errorf("check: malformed table header %q", header)
+	}
+	id, title, ok := strings.Cut(strings.TrimSuffix(strings.TrimPrefix(header, "== "), " =="), ": ")
+	if !ok {
+		return nil, fmt.Errorf("check: table header %q has no ID separator", header)
+	}
+	t := &experiments.Table{ID: id, Title: title, Columns: splitCells(lines[1])}
+	if len(t.Columns) == 0 {
+		return nil, fmt.Errorf("check: table %s has no columns", id)
+	}
+	if !strings.HasPrefix(lines[2], "--") {
+		return nil, fmt.Errorf("check: table %s missing column rule, got %q", id, lines[2])
+	}
+	for _, line := range lines[3:] {
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "note: "):
+			t.Notes = append(t.Notes, strings.TrimPrefix(line, "note: "))
+		default:
+			row := splitCells(line)
+			if len(row) != len(t.Columns) {
+				return nil, fmt.Errorf("check: table %s row %q has %d cells for %d columns",
+					id, line, len(row), len(t.Columns))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// splitCells splits an aligned table line on runs of >= 2 spaces.
+func splitCells(line string) []string {
+	var cells []string
+	for _, f := range strings.Split(strings.TrimRight(line, " "), "  ") {
+		f = strings.TrimLeft(f, " ")
+		if f == "" {
+			continue
+		}
+		cells = append(cells, f)
+	}
+	return cells
+}

@@ -1,0 +1,527 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"northstar/internal/experiments"
+)
+
+// declared maps every experiment ID to the invariants its table must
+// satisfy. The declarations hold in quick AND full mode — sweeps shrink,
+// claims don't — so the same list runs against the quick-mode golden
+// corpus, live quick output at any worker count, and the full-mode
+// tables behind results/*.csv. Each entry encodes the experiment's
+// "expected shape" note from EXPERIMENTS.md as executable predicates.
+var declared = map[string][]Invariant{
+	"E1": { // device-technology curves: everything exponential, latency falls
+		Columns("year", "GF/socket", "$/GF(node)", "MB/$(dram)", "GB/s/socket(mem)",
+			"W/socket", "GB/$(disk)", "Gb/s(link)", "us(link-lat)"),
+		MinRows(4),
+		Monotone("year", Increasing, true),
+		Monotone("GF/socket", Increasing, true),
+		Monotone("$/GF(node)", Decreasing, true),
+		Monotone("MB/$(dram)", Increasing, true),
+		Monotone("GB/s/socket(mem)", Increasing, true),
+		Monotone("W/socket", Increasing, true),
+		Monotone("GB/$(disk)", Increasing, true),
+		Monotone("Gb/s(link)", Increasing, true),
+		Monotone("us(link-lat)", Decreasing, true),
+		Positive("GF/socket"), Positive("$/GF(node)"), Positive("us(link-lat)"),
+	},
+	"E2": { // fixed budget: peak explodes, HPL efficiency and MTBF erode
+		Columns("year", "nodes", "peak-TF", "linpack-TF", "hpl-eff", "mem-TB",
+			"power-kW", "racks", "mtbf-days"),
+		MinRows(4),
+		Monotone("year", Increasing, true),
+		Monotone("nodes", Increasing, true),
+		Monotone("peak-TF", Increasing, true),
+		Monotone("linpack-TF", Increasing, true),
+		Monotone("hpl-eff", Decreasing, true),
+		Monotone("mem-TB", Increasing, true),
+		Monotone("power-kW", Increasing, true),
+		Monotone("racks", Increasing, false),
+		Monotone("mtbf-days", Decreasing, true),
+		UnitInterval("hpl-eff"),
+		Positive("nodes"), Positive("peak-TF"), Positive("mtbf-days"),
+		RowGE("peak-TF", "linpack-TF"),
+	},
+	"E3": { // node architectures: grouped by year, all rates physical
+		Columns("year", "arch", "cores", "GF/node", "GF/$k", "GF/W", "GF/rackU",
+			"B-per-flop", "nodes/rack"),
+		MinRows(5),
+		Monotone("year", Increasing, false),
+		OneOf("arch", "conventional", "blade", "smp-on-chip", "system-on-chip", "pim"),
+		AtLeast("cores", 1),
+		Positive("GF/node"), Positive("GF/$k"), Positive("GF/W"),
+		Positive("GF/rackU"), Positive("B-per-flop"), Positive("nodes/rack"),
+	},
+	"E4": { // app sensitivity: runtimes normalized to conventional == 1
+		ColumnConst("conventional", "1.00"),
+		MinRows(3),
+		Positive("conventional"), Positive("blade"),
+		Positive("smp-on-chip@2006"), Positive("pim"),
+	},
+	"E5": { // ping-pong: long messages never slower than medium ones
+		Columns("fabric", "latency-us(8B)", "bw-MB/s(64KB)", "bw-MB/s(4MB)", "half-bw-KB"),
+		MinRows(5),
+		OneOf("fabric", "fast-ethernet", "gigabit-ethernet", "myrinet-2000",
+			"qsnet-elan3", "infiniband-4x", "optical-circuit"),
+		Positive("latency-us(8B)"), Positive("bw-MB/s(64KB)"),
+		Positive("bw-MB/s(4MB)"), Positive("half-bw-KB"),
+		RowGE("bw-MB/s(4MB)", "bw-MB/s(64KB)"),
+	},
+	"E5b": { // eager/rendezvous: time grows with size, higher limit never hurts
+		Columns("bytes", "limit=1B", "limit=4KB", "limit=16KB", "limit=64KB"),
+		MinRows(4),
+		Monotone("bytes", Increasing, true),
+		Monotone("limit=1B", Increasing, false),
+		Monotone("limit=4KB", Increasing, false),
+		Monotone("limit=16KB", Increasing, false),
+		Monotone("limit=64KB", Increasing, false),
+		Positive("limit=1B"), Positive("limit=64KB"),
+		RowGE("limit=1B", "limit=64KB"),
+	},
+	"E6": { // collectives: latency grows with rank count on every fabric
+		Custom("p-sweep-columns", checkE6Columns),
+		MinRows(4),
+		OneOf("op", "barrier", "allreduce-8B"),
+	},
+	"E6b": { // allreduce ablation: cost grows with vector length per algorithm
+		Columns("bytes", "recursive-doubling", "ring", "reduce+bcast"),
+		MinRows(4),
+		Monotone("bytes", Increasing, true),
+		Monotone("recursive-doubling", Increasing, false),
+		Monotone("ring", Increasing, false),
+		Monotone("reduce+bcast", Increasing, false),
+		Positive("recursive-doubling"), Positive("ring"), Positive("reduce+bcast"),
+	},
+	"E7": { // optical crossover: the winner column names the cheaper fabric
+		Columns("bytes-per-pair", "infiniband-packet", "optical-circuit", "winner"),
+		MinRows(4),
+		Monotone("bytes-per-pair", Increasing, true),
+		Monotone("infiniband-packet", Increasing, false),
+		Monotone("optical-circuit", Increasing, false),
+		Positive("infiniband-packet"), Positive("optical-circuit"),
+		OneOf("winner", "packet", "optical"),
+		Custom("winner-is-cheaper", checkE7Winner),
+	},
+	"E8": { // scheduling: utilization is a fraction, p95 dominates the mean
+		Columns("load", "policy", "utilization", "mean-wait-min", "p95-wait-min",
+			"bounded-slowdown"),
+		MinRows(8),
+		Monotone("load", Increasing, false),
+		OneOf("policy", "fcfs", "easy-backfill", "conservative", "gang-4"),
+		UnitInterval("load"),
+		UnitInterval("utilization"),
+		Positive("mean-wait-min"), Positive("p95-wait-min"),
+		AtLeast("bounded-slowdown", 1),
+		RowGE("p95-wait-min", "mean-wait-min"),
+	},
+	"E9": { // MTBF vs scale: everything collapses as N grows
+		Columns("nodes", "mtbf(exp)", "first-failure(weibull-0.7)", "all-up-availability"),
+		MinRows(4),
+		Monotone("nodes", Increasing, true),
+		Monotone("mtbf(exp)", Decreasing, true),
+		Monotone("first-failure(weibull-0.7)", Decreasing, true),
+		Monotone("all-up-availability", Decreasing, true),
+		Positive("mtbf(exp)"), Positive("first-failure(weibull-0.7)"),
+		UnitInterval("all-up-availability"),
+	},
+	"E10": { // checkpointing: Young >= Daly, simulated optimum tracks Young
+		Columns("nodes", "system-mtbf", "young", "daly", "simulated-opt",
+			"useful-frac@opt", "useful-frac@young"),
+		MinRows(3),
+		Monotone("nodes", Increasing, true),
+		Monotone("system-mtbf", Decreasing, true),
+		Monotone("young", Decreasing, true),
+		Monotone("daly", Decreasing, true),
+		Monotone("simulated-opt", Decreasing, false),
+		Monotone("useful-frac@opt", Decreasing, false),
+		Monotone("useful-frac@young", Decreasing, false),
+		UnitInterval("useful-frac@opt"),
+		UnitInterval("useful-frac@young"),
+		Positive("simulated-opt"),
+		RowGE("young", "daly"),
+		RowRatioWithin("simulated-opt", "young", 2),
+	},
+	"E11": { // petaflops crossing: innovations cross first, ethernet never
+		Columns("scenario", "crossing-year", "nodes", "arch", "fabric", "power-MW"),
+		MinRows(5),
+		OneOf("fabric", "gigabit-ethernet", "optical-circuit"),
+		Positive("nodes"), Positive("power-MW"),
+		Custom("crossing-year-cells", checkE11Years),
+		Custom("ethernet-never-crosses", checkE11Ethernet),
+		Custom("all-innovations-crosses-first", checkE11AllInnovations),
+	},
+	"E12": { // innovation waterfall: the combination beats every single lever
+		Columns("scenario", "sustained-TF", "vs-moore-only", "arch", "fabric", "nodes"),
+		MinRows(5),
+		Positive("sustained-TF"), Positive("vs-moore-only"), Positive("nodes"),
+		OneOf("fabric", "gigabit-ethernet", "optical-circuit"),
+		Custom("moore-only-is-baseline", checkE12Baseline),
+		Custom("combination-wins", checkE12CombinationWins),
+	},
+	"X1": { // hybrid placement: the printed ratio is the printed quotient
+		Columns("app", "flat-ms", "hybrid-ms", "hybrid/flat"),
+		MinRows(3),
+		Positive("flat-ms"), Positive("hybrid-ms"), Positive("hybrid/flat"),
+		Custom("ratio-consistent", checkX1Ratio),
+	},
+	"X2": { // degraded fabric: more failed links, more slowdown, never less
+		Columns("failed-links", "alltoall-ms", "slowdown"),
+		MinRows(4),
+		Monotone("failed-links", Increasing, true),
+		Monotone("alltoall-ms", Increasing, false),
+		Monotone("slowdown", Increasing, false),
+		NonNegative("failed-links"),
+		Positive("alltoall-ms"),
+		AtLeast("slowdown", 1),
+		Custom("healthy-baseline", baselineSlowdown("failed-links", "slowdown")),
+	},
+	"X3": { // power wall: a stalled roadmap can only lose performance
+		Columns("scenario", "default-roadmap-TF", "power-wall-TF", "retained"),
+		MinRows(3),
+		Positive("default-roadmap-TF"), Positive("power-wall-TF"),
+		UnitInterval("retained"),
+		RowGE("default-roadmap-TF", "power-wall-TF"),
+	},
+	"X4": { // I/O-limited checkpointing: Young's interval dwarfs the cost
+		Columns("io-system", "aggregate-GB/s", "delta", "young", "useful-frac"),
+		MinRows(2),
+		Positive("aggregate-GB/s"), Positive("delta"), Positive("young"),
+		UnitInterval("useful-frac"),
+		RowGE("young", "delta"),
+	},
+	"X5": { // monitoring: flat load equals node count, the tree stays bounded
+		Columns("nodes", "flat-load/s", "flat-detect", "tree-levels",
+			"tree-detect", "tree-detect-simulated"),
+		MinRows(3),
+		Monotone("nodes", Increasing, true),
+		Monotone("tree-levels", Increasing, false),
+		Monotone("tree-detect", Increasing, false),
+		AtLeast("tree-levels", 1),
+		Positive("tree-detect"),
+		Custom("flat-load-equals-nodes", checkX5FlatLoad),
+		Custom("flat-detect-cells", checkX5FlatDetect),
+	},
+	"X6": { // placement: scatter packs, contiguous strands
+		Columns("allocator", "utilization", "mean-wait-min", "mean-dilation-hops",
+			"over-allocation", "fragmentation-stalls"),
+		MinRows(3),
+		OneOf("allocator", "scatter", "random-scatter", "contiguous"),
+		UnitInterval("utilization"),
+		Positive("mean-wait-min"), Positive("mean-dilation-hops"),
+		AtLeast("over-allocation", 1),
+		NonNegative("fragmentation-stalls"),
+	},
+	"X7": { // congestion trees: slowdown grows with incast degree
+		Columns("incast-flows", "victim-ms(buf=2)", "slowdown(buf=2)",
+			"victim-ms(buf=8)", "slowdown(buf=8)"),
+		MinRows(3),
+		Monotone("incast-flows", Increasing, true),
+		Monotone("victim-ms(buf=2)", Increasing, false),
+		Monotone("slowdown(buf=2)", Increasing, false),
+		Monotone("victim-ms(buf=8)", Increasing, false),
+		Monotone("slowdown(buf=8)", Increasing, false),
+		Positive("victim-ms(buf=2)"), Positive("victim-ms(buf=8)"),
+		AtLeast("slowdown(buf=2)", 1), AtLeast("slowdown(buf=8)", 1),
+		Custom("idle-baseline", baselineSlowdown("incast-flows", "slowdown(buf=2)")),
+	},
+}
+
+// For returns the declared invariants for the experiment, or nil if none
+// are declared (the coverage test in this package keeps that impossible
+// for suite IDs).
+func For(id string) []Invariant { return declared[id] }
+
+// IDs returns every experiment ID with a declaration, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(declared))
+	for id := range declared {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// checkE6Columns handles E6's mode-dependent header: "fabric", "op", then
+// a sweep of "P=<n>" columns with strictly increasing n, and each row's
+// latency nondecreasing across the sweep (O(log P) growth can't shrink).
+func checkE6Columns(t *experiments.Table) error {
+	if len(t.Columns) < 4 || t.Columns[0] != "fabric" || t.Columns[1] != "op" {
+		return fmt.Errorf("columns %v do not start with fabric, op", t.Columns)
+	}
+	prevP := 0
+	for _, c := range t.Columns[2:] {
+		var p int
+		if _, err := fmt.Sscanf(c, "P=%d", &p); err != nil {
+			return fmt.Errorf("column %q is not a P=<n> sweep column", c)
+		}
+		if p <= prevP {
+			return fmt.Errorf("sweep columns not increasing at %q", c)
+		}
+		prevP = p
+	}
+	return AcrossRow(t.Columns[2:]...).Check(t)
+}
+
+// checkE7Winner asserts the winner cell names the strictly cheaper
+// fabric (ties accept either).
+func checkE7Winner(t *experiments.Table) error {
+	for r := range t.Rows {
+		packet, err := cellValue(t, r, "infiniband-packet")
+		if err != nil {
+			return err
+		}
+		optical, err := cellValue(t, r, "optical-circuit")
+		if err != nil {
+			return err
+		}
+		winner, err := t.Cell(r, "winner")
+		if err != nil {
+			return err
+		}
+		if packet < optical && winner != "packet" {
+			return fmt.Errorf("row %d: packet %g < optical %g but winner is %q", r, packet, optical, winner)
+		}
+		if optical < packet && winner != "optical" {
+			return fmt.Errorf("row %d: optical %g < packet %g but winner is %q", r, optical, packet, winner)
+		}
+	}
+	return nil
+}
+
+// checkE11Years asserts every crossing-year cell is either "> 2020"
+// (never crossed within the roadmap) or a year inside the roadmap.
+func checkE11Years(t *experiments.Table) error {
+	for r := range t.Rows {
+		cell, err := t.Cell(r, "crossing-year")
+		if err != nil {
+			return err
+		}
+		if cell == "> 2020" {
+			continue
+		}
+		y, ok := ParseValue(cell)
+		if !ok || y < 2002 || y > 2020 {
+			return fmt.Errorf("row %d: crossing-year %q is neither \"> 2020\" nor a roadmap year", r, cell)
+		}
+	}
+	return nil
+}
+
+// checkE11Ethernet asserts the keynote's finding that gigabit-ethernet
+// scenarios never sustain a petaflops: their crossing-year must be the
+// "> 2020" sentinel.
+func checkE11Ethernet(t *experiments.Table) error {
+	for r := range t.Rows {
+		fabric, err := t.Cell(r, "fabric")
+		if err != nil {
+			return err
+		}
+		if fabric != "gigabit-ethernet" {
+			continue
+		}
+		year, err := t.Cell(r, "crossing-year")
+		if err != nil {
+			return err
+		}
+		if year != "> 2020" {
+			return fmt.Errorf("row %d: ethernet scenario crosses at %q", r, year)
+		}
+	}
+	return nil
+}
+
+// checkE11AllInnovations asserts the thesis row: all-innovations crosses
+// no later than any other scenario that crosses at all.
+func checkE11AllInnovations(t *experiments.Table) error {
+	all, rest, err := scenarioValue(t, "crossing-year")
+	if err != nil {
+		return err
+	}
+	for scenario, y := range rest {
+		if all > y {
+			return fmt.Errorf("all-innovations crosses at %g, after %s at %g", all, scenario, y)
+		}
+	}
+	return nil
+}
+
+// checkE12Baseline asserts moore-only is its own normalization point.
+func checkE12Baseline(t *experiments.Table) error {
+	for r := range t.Rows {
+		scenario, err := t.Cell(r, "scenario")
+		if err != nil {
+			return err
+		}
+		if scenario != "moore-only" {
+			continue
+		}
+		cell, err := t.Cell(r, "vs-moore-only")
+		if err != nil {
+			return err
+		}
+		if cell != "1.00" {
+			return fmt.Errorf("moore-only vs-moore-only = %q, want 1.00", cell)
+		}
+		return nil
+	}
+	return fmt.Errorf("no moore-only row")
+}
+
+// checkE12CombinationWins asserts all-innovations sustains at least as
+// much as every single-lever scenario.
+func checkE12CombinationWins(t *experiments.Table) error {
+	all, rest, err := scenarioValue(t, "sustained-TF")
+	if err != nil {
+		return err
+	}
+	for scenario, v := range rest {
+		if all < v {
+			return fmt.Errorf("all-innovations sustains %g TF, less than %s at %g", all, scenario, v)
+		}
+	}
+	return nil
+}
+
+// scenarioValue splits a scenario-keyed table's column into the
+// all-innovations value and a map of every other scenario's numeric
+// value (non-numeric cells, like "> 2020", are skipped).
+func scenarioValue(t *experiments.Table, col string) (float64, map[string]float64, error) {
+	var all float64
+	haveAll := false
+	rest := make(map[string]float64)
+	for r := range t.Rows {
+		scenario, err := t.Cell(r, "scenario")
+		if err != nil {
+			return 0, nil, err
+		}
+		cell, err := t.Cell(r, col)
+		if err != nil {
+			return 0, nil, err
+		}
+		v, ok := ParseValue(cell)
+		if !ok {
+			continue
+		}
+		if scenario == "all-innovations" {
+			all, haveAll = v, true
+		} else {
+			rest[scenario] = v
+		}
+	}
+	if !haveAll {
+		return 0, nil, fmt.Errorf("no numeric all-innovations value in %s", col)
+	}
+	return all, rest, nil
+}
+
+// checkX1Ratio asserts the hybrid/flat column matches hybrid-ms/flat-ms
+// within rounding (the cells are independently formatted, so allow 2%).
+func checkX1Ratio(t *experiments.Table) error {
+	for r := range t.Rows {
+		flat, err := cellValue(t, r, "flat-ms")
+		if err != nil {
+			return err
+		}
+		hybrid, err := cellValue(t, r, "hybrid-ms")
+		if err != nil {
+			return err
+		}
+		ratio, err := cellValue(t, r, "hybrid/flat")
+		if err != nil {
+			return err
+		}
+		if want := hybrid / flat; ratio < want*0.98 || ratio > want*1.02 {
+			return fmt.Errorf("row %d: hybrid/flat = %g but hybrid-ms/flat-ms = %g", r, ratio, want)
+		}
+	}
+	return nil
+}
+
+// checkX5FlatLoad asserts the flat collector's load is exactly one
+// report per node per heartbeat period (the table's caption says 1 s
+// heartbeats, so load/s == nodes).
+func checkX5FlatLoad(t *experiments.Table) error {
+	for r := range t.Rows {
+		nodes, err := cellValue(t, r, "nodes")
+		if err != nil {
+			return err
+		}
+		load, err := cellValue(t, r, "flat-load/s")
+		if err != nil {
+			return err
+		}
+		if load != nodes {
+			return fmt.Errorf("row %d: flat-load/s = %g, want nodes = %g", r, load, nodes)
+		}
+	}
+	return nil
+}
+
+// checkX5FlatDetect asserts flat-detect cells are either a positive
+// latency or the saturation sentinel — and that once the flat master
+// saturates it stays saturated at every larger scale.
+func checkX5FlatDetect(t *experiments.Table) error {
+	saturated := false
+	for r := range t.Rows {
+		cell, err := t.Cell(r, "flat-detect")
+		if err != nil {
+			return err
+		}
+		if cell == "unbounded (saturated)" {
+			saturated = true
+			continue
+		}
+		if saturated {
+			return fmt.Errorf("row %d: flat master recovered (%q) after saturating at a smaller scale", r, cell)
+		}
+		if v, ok := ParseValue(cell); !ok || v <= 0 {
+			return fmt.Errorf("row %d: flat-detect %q is neither a positive latency nor the saturation sentinel", r, cell)
+		}
+	}
+	return nil
+}
+
+// baselineSlowdown returns a check that the row where the load column is
+// zero reports a slowdown of exactly 1.00 — an unloaded system is its
+// own baseline.
+func baselineSlowdown(loadCol, slowdownCol string) func(t *experiments.Table) error {
+	return func(t *experiments.Table) error {
+		for r := range t.Rows {
+			load, err := cellValue(t, r, loadCol)
+			if err != nil {
+				return err
+			}
+			if load != 0 {
+				continue
+			}
+			cell, err := t.Cell(r, slowdownCol)
+			if err != nil {
+				return err
+			}
+			if strings.TrimSpace(cell) != "1.00" {
+				return fmt.Errorf("row %d: %s = %q at %s = 0, want 1.00", r, slowdownCol, cell, loadCol)
+			}
+		}
+		return nil
+	}
+}
+
+// cellValue parses the cell at (row, col) as a number, failing (rather
+// than skipping) on non-numeric cells — for checks where the cell being
+// numeric is itself part of the invariant.
+func cellValue(t *experiments.Table, row int, col string) (float64, error) {
+	cell, err := t.Cell(row, col)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := ParseValue(cell)
+	if !ok {
+		return 0, fmt.Errorf("row %d: cell %q in %s is not numeric", row, cell, col)
+	}
+	return v, nil
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -52,15 +54,30 @@ func TestByIDIndexCoversAll(t *testing.T) {
 }
 
 // The tables carry only virtual-time numbers, so any byte difference
-// between worker counts is a real shared-state race or ordering bug.
+// between worker counts is a real shared-state race or ordering bug —
+// and any difference from the committed golden corpus is table drift.
+// Diffing every worker count against the corpus (not only against the
+// sequential run) means a deterministic-but-wrong parallel refactor
+// cannot pass by being consistently wrong.
 func TestRunAllParallelDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite")
+	}
+	var golden bytes.Buffer
+	for _, s := range All() {
+		g, err := os.ReadFile(filepath.Join("testdata", "golden", s.ID+".table"))
+		if err != nil {
+			t.Fatalf("no golden for %s (run `go test ./internal/experiments -run Golden -update`): %v", s.ID, err)
+		}
+		golden.Write(g)
 	}
 	var ref bytes.Buffer
 	refTabs, err := RunAll(&ref, true)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !bytes.Equal(ref.Bytes(), golden.Bytes()) {
+		t.Fatalf("sequential quick output differs from the committed golden corpus")
 	}
 	for _, workers := range []int{1, 2, 8} {
 		var buf bytes.Buffer

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments_test
+
+// raceEnabled gates the full-mode results sync test: the full suite
+// under the race detector costs minutes while adding nothing (the quick
+// suite already runs race-clean at three worker counts), so the sync
+// check runs only in non-race test invocations and as its own CI step.
+const raceEnabled = true

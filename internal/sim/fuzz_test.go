@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzKernelOps drives the kernel's hot path — heap scheduling, the
+// same-time FIFO fast path, lazy cancellation, compaction — from a fuzzed
+// op stream and checks it against a trivially correct reference model: a
+// flat slice of (time, scheduling-index) pairs sorted stably. The kernel
+// promises events fire in (time, seq) order with FIFO ties, cancelled
+// events never fire, Cancel/Pending report the truth, and the clock never
+// runs backwards; any heap or free-list bug that breaks one of those
+// shows up as an order or bookkeeping diff.
+//
+// The op stream executes *inside* kernel events (a driver chain), so
+// scheduling happens both before the clock reaches an event's time (heap
+// path) and exactly at it (nowq fast path), like real simulations.
+func FuzzKernelOps(f *testing.F) {
+	// Seeds: pure same-time scheduling, a cancel-heavy stream (drives
+	// compaction), mixed deltas, time advances between bursts.
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 5, 1, 3, 4, 0, 0, 2, 4, 1, 4, 2})
+	f.Add([]byte{0, 10, 7, 4, 0, 0, 7, 9, 2, 200, 4, 0, 6, 1})
+	f.Add([]byte{1, 1, 1, 1, 4, 0, 4, 1, 4, 2, 4, 3, 4, 4, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512] // bound per-input work
+		}
+		k := New(1)
+
+		type payload struct {
+			id        int
+			at        Time
+			h         Handle
+			cancelled bool
+			fired     bool
+		}
+		var model []*payload
+		var fired []int
+		lastNow := k.Now()
+
+		i := 0
+		var step func()
+		step = func() {
+			if k.Now() < lastNow {
+				t.Fatalf("clock ran backwards: %v after %v", k.Now(), lastNow)
+			}
+			lastNow = k.Now()
+			if i+1 >= len(data) {
+				return
+			}
+			op, arg := data[i]%8, int(data[i+1])
+			i += 2
+			next := Time(0) // next driver step: same-time unless op 7
+			switch op {
+			case 0, 1, 2, 3: // schedule a payload arg microseconds out
+				p := &payload{id: len(model), at: k.Now() + Time(arg)*Microsecond}
+				p.h = k.After(Time(arg)*Microsecond, func() {
+					if p.fired || p.cancelled {
+						t.Fatalf("payload %d fired twice or after cancel", p.id)
+					}
+					p.fired = true
+					fired = append(fired, p.id)
+				})
+				model = append(model, p)
+			case 4, 5: // cancel the arg-th payload; Cancel must tell the truth
+				if len(model) == 0 {
+					break
+				}
+				p := model[arg%len(model)]
+				want := !p.fired && !p.cancelled
+				if got := p.h.Cancel(); got != want {
+					t.Fatalf("payload %d: Cancel() = %v, model says %v (fired=%v cancelled=%v)",
+						p.id, got, want, p.fired, p.cancelled)
+				}
+				if want {
+					p.cancelled = true
+				}
+			case 6: // Pending must agree with the model
+				if len(model) == 0 {
+					break
+				}
+				p := model[arg%len(model)]
+				if want := !p.fired && !p.cancelled; p.h.Pending() != want {
+					t.Fatalf("payload %d: Pending() = %v, model says %v", p.id, p.h.Pending(), want)
+				}
+			case 7: // advance the driver clock
+				next = Time(arg) * Microsecond
+			}
+			k.After(next, step)
+		}
+		k.After(0, step)
+		k.Run()
+
+		// Every live payload fired in (time, scheduling order); nothing
+		// cancelled fired; nothing fired twice.
+		var want []*payload
+		for _, p := range model {
+			if !p.cancelled {
+				want = append(want, p)
+			}
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		if len(fired) != len(want) {
+			t.Fatalf("%d payloads fired, model expects %d", len(fired), len(want))
+		}
+		for j, p := range want {
+			if fired[j] != p.id {
+				t.Fatalf("firing position %d: payload %d, model expects %d (at=%v)", j, fired[j], p.id, p.at)
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("%d events still pending after Run drained everything", k.Pending())
+		}
+		// A handle whose event fired or was cancelled must stay dead.
+		for _, p := range model {
+			if p.h.Pending() {
+				t.Fatalf("payload %d still Pending after the run", p.id)
+			}
+			if p.h.Cancel() {
+				t.Fatalf("payload %d: Cancel succeeded after the run", p.id)
+			}
+		}
+	})
+}

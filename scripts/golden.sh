@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerate every verification corpus in one step:
+#   - testdata/golden/<ID>.table  quick-mode golden tables + sha256 manifest
+#   - results/<ID>.csv            full-mode CSVs
+#   - results/full_output.txt     full-mode table stream
+# Run from anywhere in the repo after an intentional table change, then
+# review the diff: the golden corpus and the invariant declarations in
+# internal/check are the reviewers of record for "did the science move".
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== quick-mode golden corpus =="
+go test ./internal/experiments -run 'TestGoldenCorpus' -update -count=1 -v | grep -v '^=== \|^--- '
+
+echo "== full-mode results/ =="
+go run ./cmd/experiments -csv results > results/full_output.txt
+echo "refreshed results/*.csv and results/full_output.txt"
+
+echo "== verify =="
+go test ./internal/experiments -run 'Golden|ResultsSync' -count=1
+go test ./internal/check -count=1
