@@ -1,8 +1,8 @@
-// Command bench measures the repository's two perf-critical paths — the
-// event kernel and the experiment suite — and writes the results as JSON
-// (BENCH_runner.json at the repo root; regenerate with scripts/bench.sh).
-// The JSON seeds the repo's perf trajectory: each perf PR reruns it and
-// the numbers must not regress.
+// Command bench measures the repository's perf-critical paths — the
+// event kernel, the experiment suite, and the sharded Monte Carlo engine
+// — and writes the results as JSON (BENCH_runner.json at the repo root;
+// regenerate with scripts/bench.sh). The JSON seeds the repo's perf
+// trajectory: each perf PR reruns it and the numbers must not regress.
 //
 // Usage:
 //
@@ -23,20 +23,27 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"northstar/internal/experiments"
+	"northstar/internal/fault"
+	"northstar/internal/mc"
 	"northstar/internal/obs"
 	"northstar/internal/sim"
+	"northstar/internal/stats"
 )
 
-// Report is the schema of BENCH_runner.json. Kernel is the unobserved
+// Report is the schema of BENCH_runner.json (northstar-bench/v3; the
+// schema is documented in EXPERIMENTS.md). Kernel is the unobserved
 // (nil-probe) hot path; KernelProbed repeats the measurement with an
 // obs.KernelProbe attached, pinning the enabled-observability overhead
-// and proving the disabled path stays allocation-free.
+// and proving the disabled path stays allocation-free. Shards measures
+// the Monte Carlo shard engine on the suite's slowest replication loop.
 type Report struct {
 	Schema       string    `json:"schema"`
 	Generated    string    `json:"generated_by"`
@@ -44,6 +51,7 @@ type Report struct {
 	Kernel       KernelRes `json:"kernel"`
 	KernelProbed KernelRes `json:"kernel_probed"`
 	Suite        SuiteRes  `json:"suite"`
+	Shards       ShardRes  `json:"shard_scaling"`
 	Seed         *SeedRef  `json:"seed_baseline,omitempty"`
 }
 
@@ -67,13 +75,49 @@ type KernelRes struct {
 }
 
 // SuiteRes reports experiment-suite wall clock, sequential vs parallel.
+// SpecSeconds is the per-spec breakdown from an observed sequential run
+// (the numbers behind the Spec.Cost scheduling hints), and LongPoles
+// names its top five — the specs future perf PRs should target.
+// Efficiency normalizes Speedup by min(workers, NumCPU): on a 1-CPU
+// host a ~1.0x speedup at efficiency ~1.0 means the pool is doing its
+// job and the host, not the runner, is the bottleneck.
 type SuiteRes struct {
-	Quick             bool    `json:"quick"`
-	Experiments       int     `json:"experiments"`
-	SequentialSeconds float64 `json:"sequential_seconds"`
-	ParallelWorkers   int     `json:"parallel_workers"`
-	ParallelSeconds   float64 `json:"parallel_seconds"`
-	Speedup           float64 `json:"speedup"`
+	Quick              bool               `json:"quick"`
+	Experiments        int                `json:"experiments"`
+	SequentialSeconds  float64            `json:"sequential_seconds"`
+	ParallelWorkers    int                `json:"parallel_workers"`
+	ParallelSeconds    float64            `json:"parallel_seconds"`
+	Speedup            float64            `json:"speedup"`
+	ParallelEfficiency float64            `json:"parallel_efficiency"`
+	SpecSeconds        map[string]float64 `json:"spec_seconds"`
+	LongPoles          []LongPole         `json:"long_poles"`
+}
+
+// LongPole names one of the slowest specs in the observed breakdown.
+type LongPole struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ShardRes reports the Monte Carlo shard engine's scaling on the E9
+// first-failure loop (the suite's slowest replication body): ns per
+// replication at shards 1/2/4/8 on a pool sized to match, the
+// pre-sharding single-stream loop as baseline, the shards=1 overhead
+// against it, and a bit-identity self-check across shard counts.
+type ShardRes struct {
+	Model                string       `json:"model"`
+	Runs                 int          `json:"runs"`
+	SingleStreamNsPerRep float64      `json:"single_stream_baseline_ns_per_rep"`
+	Shards1OverheadPct   float64      `json:"shards1_overhead_pct_vs_single_stream"`
+	BitIdentical         bool         `json:"bit_identical_shards_1_2_8"`
+	Points               []ShardPoint `json:"points"`
+}
+
+// ShardPoint is one shard-count measurement.
+type ShardPoint struct {
+	Shards   int     `json:"shards"`
+	NsPerRep float64 `json:"ns_per_rep"`
+	Speedup  float64 `json:"speedup_vs_shards1"`
 }
 
 // SeedRef is the fixed pre-optimization baseline for before/after
@@ -103,7 +147,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:    "northstar-bench/v2",
+		Schema:    "northstar-bench/v3",
 		Generated: "go run ./cmd/bench (see scripts/bench.sh)",
 		Host: HostInfo{
 			Go:         runtime.Version(),
@@ -133,12 +177,25 @@ func main() {
 	rep.Suite.ParallelWorkers = workers
 
 	fmt.Fprintf(os.Stderr, "bench: suite sequential (quick=%v)...\n", *quick)
-	rep.Suite.SequentialSeconds = benchSuite(*quick, 1)
+	rep.Suite.SequentialSeconds = benchSuite(*quick, 1, nil)
+	fmt.Fprintf(os.Stderr, "bench: suite sequential, observed (per-spec breakdown)...\n")
+	rep.Suite.SpecSeconds, rep.Suite.LongPoles = benchSpecBreakdown(*quick)
 	fmt.Fprintf(os.Stderr, "bench: suite parallel (workers=%d)...\n", workers)
-	rep.Suite.ParallelSeconds = benchSuite(*quick, workers)
+	rep.Suite.ParallelSeconds = benchSuite(*quick, workers, nil)
 	if rep.Suite.ParallelSeconds > 0 {
 		rep.Suite.Speedup = round3(rep.Suite.SequentialSeconds / rep.Suite.ParallelSeconds)
+		// Speedup is bounded by the narrower of the pool and the host;
+		// normalizing by that bound separates "the runner failed to
+		// parallelize" from "the host has nothing to parallelize onto".
+		bound := workers
+		if cpus := runtime.NumCPU(); cpus < bound {
+			bound = cpus
+		}
+		rep.Suite.ParallelEfficiency = round3(rep.Suite.Speedup / float64(bound))
 	}
+
+	fmt.Fprintf(os.Stderr, "bench: shard scaling (Monte Carlo engine)...\n")
+	rep.Shards = benchShards()
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -152,9 +209,10 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event nil probe, %.1f probed, %.2f allocs/event; suite %.2fs -> %.2fs, %.2fx)\n",
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event nil probe, %.1f probed, %.2f allocs/event; suite %.2fs -> %.2fs, %.2fx, eff %.2f; shards=1 overhead %+.1f%%)\n",
 		*out, rep.Kernel.NsPerEvent, rep.KernelProbed.NsPerEvent, rep.Kernel.AllocsPerEvent,
-		rep.Suite.SequentialSeconds, rep.Suite.ParallelSeconds, rep.Suite.Speedup)
+		rep.Suite.SequentialSeconds, rep.Suite.ParallelSeconds, rep.Suite.Speedup,
+		rep.Suite.ParallelEfficiency, rep.Shards.Shards1OverheadPct)
 }
 
 // benchKernel mirrors BenchmarkKernelEventThroughput (internal/sim): a
@@ -194,12 +252,142 @@ func benchKernel(events int, probe *obs.KernelProbe) KernelRes {
 }
 
 // benchSuite runs the whole experiment suite once and reports seconds.
-func benchSuite(quick bool, workers int) float64 {
+// The intra-experiment Monte Carlo pool is budgeted against the suite
+// workers (helpers = GOMAXPROCS - workers, floored at 0) so the two
+// levels of parallelism share one CPU budget. A non-nil observer
+// instruments the run.
+func benchSuite(quick bool, workers int, observer *obs.SuiteObserver) float64 {
+	mc.SetDefaultWorkers(runtime.GOMAXPROCS(0) - workers)
+	defer mc.SetDefaultWorkers(runtime.GOMAXPROCS(0) - 1)
 	start := time.Now()
-	if _, err := experiments.RunAllParallel(io.Discard, quick, workers); err != nil {
+	opts := experiments.Options{Quick: quick, Workers: workers, Observer: observer}
+	if _, err := experiments.RunSuite(io.Discard, opts); err != nil {
 		fatal(err)
 	}
 	return round3(time.Since(start).Seconds())
+}
+
+// benchSpecBreakdown runs the suite sequentially under the observer and
+// extracts each spec's host wall clock from the metrics registry
+// (host_seconds gauge per spec scope), plus the top-5 long poles.
+func benchSpecBreakdown(quick bool) (map[string]float64, []LongPole) {
+	observer := obs.NewSuiteObserver(nil, nil, nil)
+	benchSuite(quick, 1, observer)
+	specSeconds := make(map[string]float64, len(experiments.All()))
+	for _, s := range experiments.All() {
+		specSeconds[s.ID] = round3(observer.Registry().Scope(s.ID).Gauge("host_seconds"))
+	}
+	poles := make([]LongPole, 0, len(specSeconds))
+	for id, secs := range specSeconds {
+		poles = append(poles, LongPole{ID: id, Seconds: secs})
+	}
+	sort.Slice(poles, func(i, j int) bool {
+		if poles[i].Seconds != poles[j].Seconds {
+			return poles[i].Seconds > poles[j].Seconds
+		}
+		return poles[i].ID < poles[j].ID
+	})
+	if len(poles) > 5 {
+		poles = poles[:5]
+	}
+	return specSeconds, poles
+}
+
+// benchShards measures the sharded Monte Carlo engine on the E9
+// first-failure model (Weibull infant mortality, 1000 nodes — the
+// suite's slowest replication loop) at shards 1/2/4/8, against the
+// pre-sharding single-stream loop, and self-checks bit-identity across
+// shard counts.
+func benchShards() ShardRes {
+	system := fault.System{
+		Nodes:    1000,
+		Lifetime: stats.Weibull{Shape: 0.7, Scale: float64(1000 * sim.Day)},
+	}
+	const runs, seed, reps = 2000, 7, 15
+
+	res := ShardRes{
+		Model: "fault.System.FirstFailureMean, 1000 nodes, weibull(0.7) lifetimes",
+		Runs:  runs,
+	}
+
+	// Pre-sharding baseline: one rand stream, no pool, no reseeding —
+	// the loop FirstFailureMean ran before the shard engine existed.
+	singleStream := func() sim.Time {
+		rng := rand.New(rand.NewSource(seed))
+		var sum float64
+		for r := 0; r < runs; r++ {
+			first := math.Inf(1)
+			for n := 0; n < system.Nodes; n++ {
+				if t := system.Lifetime.Sample(rng); t < first {
+					first = t
+				}
+			}
+			sum += first
+		}
+		return sim.Time(sum / runs)
+	}
+	// Best-of-reps: the minimum is the run least perturbed by host
+	// scheduling noise, which on a shared container dwarfs the few-percent
+	// effects this section exists to measure.
+	bestOf := func(f func()) float64 {
+		best := math.Inf(1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			f()
+			if ns := float64(time.Since(start).Nanoseconds()); ns < best {
+				best = ns
+			}
+		}
+		return round3(best / runs)
+	}
+	res.SingleStreamNsPerRep = bestOf(func() { singleStream() })
+
+	var base sim.Time
+	for _, shards := range []int{1, 2, 4, 8} {
+		p := mc.NewPool(shards - 1)
+		v := system.FirstFailureMeanSharded(p, runs, seed, shards)
+		ns := bestOf(func() { system.FirstFailureMeanSharded(p, runs, seed, shards) })
+		pt := ShardPoint{Shards: shards, NsPerRep: ns}
+		if shards == 1 {
+			base = v
+			res.Shards1OverheadPct = round3((ns - res.SingleStreamNsPerRep) / res.SingleStreamNsPerRep * 100)
+			res.BitIdentical = true
+			pt.Speedup = 1
+		} else {
+			if v != base {
+				res.BitIdentical = false
+			}
+			if ns > 0 {
+				pt.Speedup = round3(res.Points[0].NsPerRep / ns)
+			}
+		}
+		res.Points = append(res.Points, pt)
+		p.Close()
+	}
+	// A quick checkpoint-model cross-check on the same invariant.
+	c := fault.Checkpoint{
+		Work: 168 * sim.Hour, Interval: sim.Hour, Overhead: 5 * sim.Minute,
+		Restart: 10 * sim.Minute, MTBF: 12 * sim.Hour,
+	}
+	p := mc.NewPool(7)
+	defer p.Close()
+	c1, err := c.SimulateSharded(p, 200, 42, 1)
+	if err != nil {
+		fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		cs, err := c.SimulateSharded(p, 200, 42, shards)
+		if err != nil {
+			fatal(err)
+		}
+		if cs != c1 {
+			res.BitIdentical = false
+		}
+	}
+	if !res.BitIdentical {
+		fatal(fmt.Errorf("shard bit-identity self-check failed; results depend on shard count"))
+	}
+	return res
 }
 
 func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"northstar/internal/experiments"
+	"northstar/internal/mc"
 	"northstar/internal/obs"
 )
 
@@ -148,6 +149,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*specTimeout = 10 * time.Second
 		}
 	}
+	// Budget the intra-experiment Monte Carlo pool against the suite
+	// workers: the two levels of parallelism share one CPU budget, so a
+	// -par that saturates the host leaves no shard helpers (and vice
+	// versa a sequential -par 1 hands the spare CPUs to the shard pool).
+	// Every Monte Carlo result is bit-identical for any pool size, so
+	// this only moves wall clock, never numbers.
+	suiteWorkers := *par
+	if suiteWorkers <= 0 {
+		suiteWorkers = runtime.GOMAXPROCS(0)
+	}
+	mc.SetDefaultWorkers(runtime.GOMAXPROCS(0) - suiteWorkers)
+
 	opts := experiments.Options{
 		Quick:       *quick,
 		Workers:     *par,

@@ -1,0 +1,50 @@
+package check
+
+import (
+	"testing"
+
+	"northstar/internal/fault"
+	"northstar/internal/mc"
+	"northstar/internal/sim"
+	"northstar/internal/stats"
+)
+
+// Shard-count invariance is the metamorphic property the substream
+// seeding contract guarantees: a Monte Carlo result is a pure function
+// of (base seed, replication index), so running the same experiment
+// partitioned into 1, 2, or 8 shards must produce bit-identical results
+// — not statistically close, identical.
+
+func TestMetamorphicCheckpointShardInvariance(t *testing.T) {
+	p := mc.NewPool(8)
+	defer p.Close()
+	for _, mtbf := range []sim.Time{40 * sim.Hour, 6 * sim.Hour} {
+		c := testCheckpoint(mtbf)
+		base, err := c.SimulateSharded(p, 200, 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 8} {
+			got, err := c.SimulateSharded(p, 200, 42, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != base {
+				t.Errorf("mtbf %v: shards=%d result %+v differs from shards=1 %+v",
+					mtbf, shards, got, base)
+			}
+		}
+	}
+}
+
+func TestMetamorphicFirstFailureShardInvariance(t *testing.T) {
+	p := mc.NewPool(8)
+	defer p.Close()
+	s := fault.System{Nodes: 1000, Lifetime: stats.Weibull{Shape: 0.7, Scale: float64(1000 * sim.Day)}}
+	base := s.FirstFailureMeanSharded(p, 2000, 7, 1)
+	for _, shards := range []int{2, 8} {
+		if got := s.FirstFailureMeanSharded(p, 2000, 7, shards); got != base {
+			t.Errorf("shards=%d mean %v differs from shards=1 %v", shards, got, base)
+		}
+	}
+}

@@ -11,6 +11,12 @@ type Spec struct {
 	ID    string
 	Title string
 	Run   func(quick bool) (*Table, error)
+	// Cost is a scheduling hint: measured full-mode wall seconds on the
+	// reference host (see BENCH_runner.json spec_seconds). RunSpecs
+	// dispatches longest-processing-time-first so the long poles start
+	// before the sub-millisecond specs; a zero Cost just sorts last.
+	// Output order is unaffected — tables always print in suite order.
+	Cost float64
 }
 
 // All returns the full experiment suite in order. Pass quick=true to the
@@ -20,27 +26,27 @@ func All() []Spec {
 		return func(bool) (*Table, error) { return f() }
 	}
 	return []Spec{
-		{"E1", "device-technology curves", wrap(E1TechCurves)},
-		{"E2", "fixed-budget cluster growth", wrap(E2FixedBudget)},
-		{"E3", "node-architecture comparison", wrap(E3NodeArch)},
-		{"E4", "application sensitivity to architecture", E4ArchApps},
-		{"E5", "interconnect microbenchmarks", E5PingPong},
-		{"E5b", "eager/rendezvous protocol ablation", E5bEagerRendezvous},
-		{"E6", "collective scaling", E6Collectives},
-		{"E6b", "allreduce algorithm ablation", E6bAllreduceAlgos},
-		{"E7", "optical circuit-switching crossover", E7Optical},
-		{"E8", "batch scheduling policies", E8Scheduling},
-		{"E9", "MTBF and availability vs scale", wrap(E9MTBF)},
-		{"E10", "checkpoint/restart optimum", E10Checkpoint},
-		{"E11", "trans-petaflops crossing", wrap(E11Petaflops)},
-		{"E12", "innovation waterfall", wrap(E12Ablation)},
-		{"X1", "hybrid vs flat placement on SMP nodes", X1Hybrid},
-		{"X2", "degraded-fabric operation", X2Degraded},
-		{"X3", "power-wall sensitivity", wrap(X3PowerWall)},
-		{"X4", "I/O-limited checkpointing", X4CheckpointIO},
-		{"X5", "management/monitoring scalability", X5Monitoring},
-		{"X6", "node placement: contiguous vs scatter", X6Placement},
-		{"X7", "congestion trees under credit flow control", X7Congestion},
+		{"E1", "device-technology curves", wrap(E1TechCurves), 0.0001},
+		{"E2", "fixed-budget cluster growth", wrap(E2FixedBudget), 0.0003},
+		{"E3", "node-architecture comparison", wrap(E3NodeArch), 0.0001},
+		{"E4", "application sensitivity to architecture", E4ArchApps, 0.43},
+		{"E5", "interconnect microbenchmarks", E5PingPong, 0.018},
+		{"E5b", "eager/rendezvous protocol ablation", E5bEagerRendezvous, 0.002},
+		{"E6", "collective scaling", E6Collectives, 0.29},
+		{"E6b", "allreduce algorithm ablation", E6bAllreduceAlgos, 0.094},
+		{"E7", "optical circuit-switching crossover", E7Optical, 0.57},
+		{"E8", "batch scheduling policies", E8Scheduling, 0.21},
+		{"E9", "MTBF and availability vs scale", wrap(E9MTBF), 1.9},
+		{"E10", "checkpoint/restart optimum", E10Checkpoint, 0.044},
+		{"E11", "trans-petaflops crossing", wrap(E11Petaflops), 0.015},
+		{"E12", "innovation waterfall", wrap(E12Ablation), 0.001},
+		{"X1", "hybrid vs flat placement on SMP nodes", X1Hybrid, 0.13},
+		{"X2", "degraded-fabric operation", X2Degraded, 0.10},
+		{"X3", "power-wall sensitivity", wrap(X3PowerWall), 0.002},
+		{"X4", "I/O-limited checkpointing", X4CheckpointIO, 0.0005},
+		{"X5", "management/monitoring scalability", X5Monitoring, 0.002},
+		{"X6", "node placement: contiguous vs scatter", X6Placement, 1.5},
+		{"X7", "congestion trees under credit flow control", X7Congestion, 0.18},
 	}
 }
 

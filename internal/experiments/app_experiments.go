@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"northstar/internal/machine"
+	"northstar/internal/mc"
 	"northstar/internal/msg"
 	"northstar/internal/network"
 	"northstar/internal/node"
@@ -45,7 +46,14 @@ func E4ArchApps(quick bool) (*Table, error) {
 			"expected shape: EP ~flat across arches (scaled by peak); stencil/CG much faster on PIM; HPL slower on PIM",
 		},
 	}
-	for _, app := range apps {
+	// One task per app; each task builds its own machines, so rows are
+	// independent and the sweep shards across the mc pool. Rows land in
+	// per-app slots and are added in app order, keeping the table
+	// byte-identical to the sequential sweep.
+	rows := make([][]any, len(apps))
+	errs := make([]error, len(apps))
+	mc.ForEach(mc.Default(), len(apps), func(ai int) {
+		app := apps[ai]
 		row := []any{app.Name()}
 		var convTime, conv2006 sim.Time
 		for i, cfg := range []struct {
@@ -59,11 +67,13 @@ func E4ArchApps(quick bool) (*Table, error) {
 		} {
 			m, err := mach(nodes, cfg.arch, network.Myrinet2000(), cfg.year)
 			if err != nil {
-				return nil, err
+				errs[ai] = err
+				return
 			}
 			rep, err := workload.Execute(m, msg.Options{}, app)
 			if err != nil {
-				return nil, err
+				errs[ai] = err
+				return
 			}
 			switch i {
 			case 0:
@@ -71,11 +81,13 @@ func E4ArchApps(quick bool) (*Table, error) {
 				// Baseline for the 2006 comparison.
 				m6, err := mach(nodes, node.Conventional, network.Myrinet2000(), 2006)
 				if err != nil {
-					return nil, err
+					errs[ai] = err
+					return
 				}
 				rep6, err := workload.Execute(m6, msg.Options{}, app)
 				if err != nil {
-					return nil, err
+					errs[ai] = err
+					return
 				}
 				conv2006 = rep6.Elapsed
 				row = append(row, 1.0)
@@ -85,7 +97,13 @@ func E4ArchApps(quick bool) (*Table, error) {
 				row = append(row, float64(rep.Elapsed)/float64(convTime))
 			}
 		}
-		t.AddRow(row...)
+		rows[ai] = row
+	})
+	for ai := range apps {
+		if errs[ai] != nil {
+			return nil, errs[ai]
+		}
+		t.AddRow(rows[ai]...)
 	}
 	return t, nil
 }
@@ -186,24 +204,35 @@ func E6Collectives(quick bool) (*Table, error) {
 		}
 		return float64(end) * 1e6, nil
 	}
-	for _, preset := range fabrics {
-		for _, op := range []string{"barrier", "allreduce-8B"} {
-			row := []any{preset.Name, op}
-			for _, p := range sizes {
-				var us float64
-				var err error
-				if op == "barrier" {
-					us, err = run(preset, p, func(r *msg.Rank) { r.Barrier() })
-				} else {
-					us, err = run(preset, p, func(r *msg.Rank) { r.Allreduce(8) })
-				}
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, us)
+	// One task per (fabric, op) row — each builds its own machines, so
+	// the sweep shards across the mc pool; rows are added in sweep order.
+	ops := []string{"barrier", "allreduce-8B"}
+	rows := make([][]any, len(fabrics)*len(ops))
+	errs := make([]error, len(rows))
+	mc.ForEach(mc.Default(), len(rows), func(i int) {
+		preset, op := fabrics[i/len(ops)], ops[i%len(ops)]
+		row := []any{preset.Name, op}
+		for _, p := range sizes {
+			var us float64
+			var err error
+			if op == "barrier" {
+				us, err = run(preset, p, func(r *msg.Rank) { r.Barrier() })
+			} else {
+				us, err = run(preset, p, func(r *msg.Rank) { r.Allreduce(8) })
 			}
-			t.AddRow(row...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row = append(row, us)
 		}
+		rows[i] = row
+	})
+	for i := range rows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		t.AddRow(rows[i]...)
 	}
 	return t, nil
 }
@@ -261,7 +290,13 @@ func E7Optical(quick bool) (*Table, error) {
 			"expected shape: packet switching wins small payloads; optical wins once the payload amortizes the ~1 ms circuit setup",
 		},
 	}
-	for _, bytes := range sizes {
+	// One task per payload size — both machines are built inside the
+	// task, so the sweep shards across the mc pool; rows are added in
+	// size order.
+	rows := make([][]any, len(sizes))
+	errs := make([]error, len(sizes))
+	mc.ForEach(mc.Default(), len(sizes), func(i int) {
+		bytes := sizes[i]
 		ib, err := machine.New(machine.Config{
 			Nodes:       p,
 			Node:        node.MustBuild(node.Conventional, tech.Default2002(), 2002),
@@ -271,25 +306,35 @@ func E7Optical(quick bool) (*Table, error) {
 			Seed:        42,
 		})
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		tIB, err := msg.Run(ib, msg.Options{}, func(r *msg.Rank) { r.Alltoall(bytes) })
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		opt, err := mach(p, node.Conventional, network.OpticalCircuit(), 2002)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		tOpt, err := msg.Run(opt, msg.Options{}, func(r *msg.Rank) { r.Alltoall(bytes) })
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		winner := "packet"
 		if tOpt < tIB {
 			winner = "optical"
 		}
-		t.AddRow(fmt.Sprintf("%d", bytes), float64(tIB)*1e3, float64(tOpt)*1e3, winner)
+		rows[i] = []any{fmt.Sprintf("%d", bytes), float64(tIB) * 1e3, float64(tOpt) * 1e3, winner}
+	})
+	for i := range rows {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		t.AddRow(rows[i]...)
 	}
 	return t, nil
 }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Dispatch must hand out specs longest-first (by the Cost hint), stable
+// for ties, while the printed stream stays in suite order.
+func TestDispatchOrderLPT(t *testing.T) {
+	specs := []Spec{
+		{ID: "a", Cost: 0.1},
+		{ID: "b", Cost: 2.0},
+		{ID: "c"}, // zero cost sorts last
+		{ID: "d", Cost: 0.1},
+		{ID: "e", Cost: 5.0},
+	}
+	got := dispatchOrder(specs)
+	want := []int{4, 1, 0, 3, 2} // e, b, a, d (stable tie), c
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatchOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAllSpecsCarryCostHints(t *testing.T) {
+	for _, s := range All() {
+		if s.Cost <= 0 {
+			t.Errorf("%s: Cost hint is %v; every suite spec should carry its measured wall time", s.ID, s.Cost)
+		}
+	}
+}
+
+// LPT dispatch must not perturb the output stream: a parallel run prints
+// in suite order regardless of the dispatch permutation.
+func TestLPTDispatchKeepsOutputOrder(t *testing.T) {
+	mk := func(id string, cost float64) Spec {
+		return Spec{ID: id, Title: id, Cost: cost,
+			Run: func(bool) (*Table, error) {
+				tb := &Table{ID: id, Title: id, Columns: []string{"v"}}
+				tb.AddRow(id)
+				return tb, nil
+			}}
+	}
+	specs := []Spec{mk("s1", 0.001), mk("s2", 9), mk("s3", 0.5), mk("s4", 3)}
+	var seq, par bytes.Buffer
+	if _, err := RunSpecs(&seq, specs, Options{Quick: true, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpecs(&par, specs, Options{Quick: true, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel LPT output differs from sequential:\n%s\nvs\n%s", par.String(), seq.String())
+	}
+}

@@ -6,18 +6,18 @@ import (
 	"testing"
 )
 
-// Pins E10's published quick-mode table byte-for-byte. The censored-run
-// accounting fix in fault.Checkpoint.Simulate (excluding a wall-clock-
-// capped partial run from the completion mean) must not move any
-// non-censored number, and E10's sweep is entirely non-censored at its
-// optimum grid.
+// Pins E10's published quick-mode table byte-for-byte. Re-pinned once
+// when fault.Checkpoint.Simulate moved to per-replication substream
+// seeding (stats.Substream) — a deliberate one-time change to RNG
+// consumption that makes the sweep bit-identical at any shard count.
+// Any further drift is a regression.
 func TestE10QuickOutputPinned(t *testing.T) {
 	tab, err := E10Checkpoint(true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sum := sha256.Sum256([]byte(tab.String()))
-	const want = "a2a6731846a10f1f04a9dddd1e0197be6a2c657b2059ad0ac9c2f1fa11e396b0"
+	const want = "a6ae0c2f3e22b74a526b80487ae2ef424b59d90d443c901f2a43c844ce9f0590"
 	if got := hex.EncodeToString(sum[:]); got != want {
 		t.Fatalf("E10 quick table changed: sha256 = %s, want %s\n%s", got, want, tab.String())
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -160,7 +161,11 @@ func RunSpecs(w io.Writer, specs []Spec, opts Options) ([]*Table, error) {
 		}(n)
 	}
 	go func() {
-		for i := range specs {
+		// Longest-processing-time-first: handing the long poles out
+		// before the sub-millisecond specs minimizes makespan under the
+		// bounded pool. Output order is unchanged — the printer below
+		// still streams strictly in suite order.
+		for _, i := range dispatchOrder(specs) {
 			jobs <- i
 		}
 		close(jobs)
@@ -171,6 +176,20 @@ func RunSpecs(w io.Writer, specs []Spec, opts Options) ([]*Table, error) {
 		print(i)
 	}
 	return tables, finish(w, specs, specObs, opts, errs, werr)
+}
+
+// dispatchOrder returns spec indices sorted by descending Cost hint —
+// longest-processing-time-first. The sort is stable, so specs with equal
+// (or zero) Cost keep suite order.
+func dispatchOrder(specs []Spec) []int {
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return specs[order[a]].Cost > specs[order[b]].Cost
+	})
+	return order
 }
 
 // finish assembles the run's error and, when observing, appends the

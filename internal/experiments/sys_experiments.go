@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"northstar/internal/fault"
+	"northstar/internal/mc"
 	"northstar/internal/sched"
 	"northstar/internal/sim"
 	"northstar/internal/stats"
@@ -28,44 +29,50 @@ func E8Scheduling(quick bool) (*Table, error) {
 			"expected shape: EASY/conservative beat FCFS on utilization and slowdown, most at high load; gang trades throughput for short-job responsiveness",
 		},
 	}
-	for _, load := range loads {
+	// Traces are generated up front (cheap, sequential); then every
+	// (load, policy) pair simulates as its own task on the mc pool. Each
+	// task clones its load's trace — clones only read the shared trace —
+	// so tasks are independent; rows are added in sweep order.
+	traces := make([][]*sched.Job, len(loads))
+	for li, load := range loads {
 		trace, err := sched.GenerateTrace(sched.TraceConfig{
 			Jobs: jobs, MaxNodes: nodes, Load: load, Seed: 20020923,
 		})
 		if err != nil {
 			return nil, err
 		}
-		clone := func() []*sched.Job {
-			out := make([]*sched.Job, len(trace))
-			for i, j := range trace {
-				cp := *j
-				cp.Start, cp.End = 0, 0
-				out[i] = &cp
-			}
-			return out
+		traces[li] = trace
+	}
+	const policies = 4 // FCFS, EASY, Conservative, gang
+	results := make([]sched.Result, len(loads)*policies)
+	errs := make([]error, len(results))
+	mc.ForEach(mc.Default(), len(results), func(i int) {
+		li, pi := i/policies, i%policies
+		clone := make([]*sched.Job, len(traces[li]))
+		for k, j := range traces[li] {
+			cp := *j
+			cp.Start, cp.End = 0, 0
+			clone[k] = &cp
 		}
-		addRow := func(res sched.Result) {
-			t.AddRow(
-				fmt.Sprintf("%.2f", load),
-				res.Policy,
-				res.Utilization,
-				float64(res.MeanWait)/60,
-				float64(res.P95Wait)/60,
-				res.MeanBoundedSlowdown,
-			)
+		if pi == policies-1 {
+			results[i], errs[i] = sched.SimulateGang(nodes, clone, sched.GangConfig{})
+			return
 		}
-		for _, p := range []sched.Policy{sched.FCFS{}, sched.EASY{}, sched.Conservative{}} {
-			res, err := sched.Simulate(nodes, clone(), p)
-			if err != nil {
-				return nil, err
-			}
-			addRow(res)
+		p := []sched.Policy{sched.FCFS{}, sched.EASY{}, sched.Conservative{}}[pi]
+		results[i], errs[i] = sched.Simulate(nodes, clone, p)
+	})
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		res, err := sched.SimulateGang(nodes, clone(), sched.GangConfig{})
-		if err != nil {
-			return nil, err
-		}
-		addRow(res)
+		t.AddRow(
+			fmt.Sprintf("%.2f", loads[i/policies]),
+			res.Policy,
+			res.Utilization,
+			float64(res.MeanWait)/60,
+			float64(res.P95Wait)/60,
+			res.MeanBoundedSlowdown,
+		)
 	}
 	return t, nil
 }

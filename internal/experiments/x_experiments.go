@@ -8,6 +8,7 @@ import (
 	"northstar/internal/core"
 	"northstar/internal/fault"
 	"northstar/internal/machine"
+	"northstar/internal/mc"
 	"northstar/internal/mgmt"
 	"northstar/internal/msg"
 	"northstar/internal/network"
@@ -311,7 +312,6 @@ func X6Placement(quick bool) (*Table, error) {
 			"expected shape: scatter packs tighter (higher utilization, no stalls) but dilates every job's communication; contiguous keeps jobs compact at the cost of stranded nodes",
 		},
 	}
-	g := topology.Torus3D(8, 8, 8)
 	// Jobs up to 128 wide on the 512-node machine: several coexist, so
 	// packing and locality both matter.
 	trace, err := sched.GenerateTrace(sched.TraceConfig{Jobs: jobs, MaxNodes: 128, Load: 0.8, Seed: 31})
@@ -336,10 +336,19 @@ func X6Placement(quick bool) (*Table, error) {
 		alloc.NewRandomScatter(512, 31),
 		alloc.NewContiguousTorus(8, 8, 8),
 	}
-	for _, a := range allocators {
-		res, err := alloc.SimulateFCFS(a, g, clone())
-		if err != nil {
-			return nil, err
+	// One task per allocator on the mc pool. Each task builds its own
+	// torus graph — Graph.Dist caches BFS trees lazily, so a shared graph
+	// would race — and owns its allocator and trace clone; rows are added
+	// in allocator order.
+	results := make([]alloc.Result, len(allocators))
+	errs := make([]error, len(allocators))
+	mc.ForEach(mc.Default(), len(allocators), func(i int) {
+		g := topology.Torus3D(8, 8, 8)
+		results[i], errs[i] = alloc.SimulateFCFS(allocators[i], g, clone())
+	})
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		t.AddRow(res.Allocator,
 			res.Utilization,

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"northstar/internal/mc"
 	"northstar/internal/sim"
 	"northstar/internal/stats"
 )
@@ -58,21 +59,37 @@ func (s System) MTBF() sim.Time {
 // equals MTBF; for Weibull shape < 1 it is markedly shorter (infant
 // mortality).
 func (s System) FirstFailureMean(runs int, seed int64) sim.Time {
+	return s.FirstFailureMeanSharded(nil, runs, seed, 0)
+}
+
+// FirstFailureMeanSharded is FirstFailureMean with explicit control over
+// the worker pool and shard count (nil pool means mc.Default, shards <= 0
+// means one shard per pool worker). Replication r draws from the stream
+// seeded with stats.Substream(seed, r) and per-replication minima are
+// reduced in index order, so the result is bit-identical for every pool
+// size and shard count.
+func (s System) FirstFailureMeanSharded(p *mc.Pool, runs int, seed int64, shards int) sim.Time {
 	if runs <= 0 {
 		// Matching Checkpoint.Simulate's runs check; without this the
 		// division below returns NaN and poisons every number downstream.
 		panic(fmt.Sprintf("fault: FirstFailureMean needs runs > 0, got %d", runs))
 	}
-	rng := rand.New(rand.NewSource(seed))
-	var sum float64
-	for r := 0; r < runs; r++ {
+	if p == nil {
+		p = mc.Default()
+	}
+	firsts := make([]float64, runs)
+	mc.Replicate(p, shards, runs, seed, func(r int, rng *rand.Rand) {
 		first := math.Inf(1)
 		for n := 0; n < s.Nodes; n++ {
 			if t := s.Lifetime.Sample(rng); t < first {
 				first = t
 			}
 		}
-		sum += first
+		firsts[r] = first
+	})
+	var sum float64
+	for _, f := range firsts {
+		sum += f
 	}
 	return sim.Time(sum / float64(runs))
 }
@@ -160,20 +177,48 @@ type Result struct {
 
 // Simulate runs the checkpointed execution `runs` times and averages.
 func (c Checkpoint) Simulate(runs int, seed int64) (Result, error) {
+	return c.SimulateSharded(nil, runs, seed, 0)
+}
+
+// SimulateSharded is Simulate with explicit control over the worker pool
+// and shard count (nil pool means mc.Default, shards <= 0 means one
+// shard per pool worker). Replication r draws from the stream seeded
+// with stats.Substream(seed, r) and per-replication tallies are reduced
+// in index order, so the Result is bit-identical for every pool size and
+// shard count.
+func (c Checkpoint) SimulateSharded(p *mc.Pool, runs int, seed int64, shards int) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
 	if runs <= 0 {
 		return Result{}, fmt.Errorf("fault: runs must be positive")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if p == nil {
+		p = mc.Default()
+	}
+	return c.simulate(p, runs, seed, shards), nil
+}
+
+// oneRun holds the tallies of a single checkpointed execution, stored
+// per replication so the sharded reduction can run in index order.
+type oneRun struct {
+	wall     float64
+	lost     float64
+	failures int
+}
+
+// simulate is the validated core of SimulateSharded.
+func (c Checkpoint) simulate(p *mc.Pool, runs int, seed int64, shards int) Result {
 	fail := stats.Exponential{Rate: 1 / float64(c.MTBF)}
 	wallCap := float64(c.Work) * 100
-	censored := false
-	completed := 0
-	var total, lost float64
-	var failures int
-	for r := 0; r < runs; r++ {
+	recs := make([]oneRun, runs)
+	// A run that hits the wall-clock cap censors the experiment: its
+	// partial wall clock, failure count, and loss describe an unfinished
+	// execution, so blending them into the "completed" averages would
+	// bias every mean. ReplicateCensored preserves the sequential
+	// break-at-first-cap semantics: only runs before the first capped one
+	// enter the statistics.
+	firstCapped := mc.ReplicateCensored(p, shards, runs, seed, func(r int, rng *rand.Rand) bool {
 		t := 0.0    // wall clock
 		done := 0.0 // checkpointed useful work
 		runLost := 0.0
@@ -212,22 +257,19 @@ func (c Checkpoint) Simulate(runs int, seed int64) (Result, error) {
 			t = nextFail + float64(c.Restart)
 			nextFail = t + fail.Sample(rng)
 		}
-		if capped {
-			// The run was cut off mid-flight: its partial wall clock,
-			// failure count, and loss describe an unfinished execution,
-			// so blending them into the "completed" averages would bias
-			// every mean. Report the censoring and keep only finished
-			// runs in the statistics.
-			censored = true
-			break
-		}
-		total += t
-		lost += runLost
-		failures += runFailures
-		completed++
-	}
+		recs[r] = oneRun{wall: t, lost: runLost, failures: runFailures}
+		return capped
+	})
+	completed := firstCapped // every run below the first capped one finished
 	if completed == 0 {
-		return Result{MeanCompletion: sim.Forever, Censored: true}, nil
+		return Result{MeanCompletion: sim.Forever, Censored: true}
+	}
+	var total, lost float64
+	var failures int
+	for r := 0; r < completed; r++ {
+		total += recs[r].wall
+		lost += recs[r].lost
+		failures += recs[r].failures
 	}
 	mean := total / float64(completed)
 	return Result{
@@ -235,8 +277,8 @@ func (c Checkpoint) Simulate(runs int, seed int64) (Result, error) {
 		UsefulFraction: float64(c.Work) / mean,
 		MeanFailures:   float64(failures) / float64(completed),
 		MeanLostWork:   sim.Time(lost / float64(completed)),
-		Censored:       censored,
-	}, nil
+		Censored:       firstCapped < runs,
+	}
 }
 
 // OptimalInterval searches a log-spaced grid of intervals for the one
@@ -259,20 +301,33 @@ func (c Checkpoint) OptimalInterval(runs int, seed int64) (sim.Time, Result, err
 	if hi <= lo {
 		hi = 2 * lo
 	}
-	best := Result{MeanCompletion: sim.Forever}
-	var bestIvl sim.Time
+	if runs <= 0 {
+		return 0, Result{}, fmt.Errorf("fault: runs must be positive")
+	}
+	// Validate was checked once above; the grid below goes straight to
+	// the unvalidated core (only Interval varies, and every grid interval
+	// is positive by construction), and the whole grid shares one pool
+	// instead of spinning state per point. Grid points run concurrently;
+	// each point's simulation is itself sharded, and because sharded
+	// results are bit-identical for any shard count, the reduction below
+	// (in grid order) is deterministic.
+	pool := mc.Default()
 	const points = 40
-	for i := 0; i <= points; i++ {
+	results := make([]Result, points+1)
+	intervals := make([]sim.Time, points+1)
+	mc.ForEach(pool, points+1, func(i int) {
 		ivl := sim.Time(lo * math.Pow(hi/lo, float64(i)/points))
 		trial := c
 		trial.Interval = ivl
-		res, err := trial.Simulate(runs, seed)
-		if err != nil {
-			return 0, Result{}, err
-		}
-		if !res.Censored && res.MeanCompletion < best.MeanCompletion {
-			best = res
-			bestIvl = ivl
+		intervals[i] = ivl
+		results[i] = trial.simulate(pool, runs, seed, 0)
+	})
+	best := Result{MeanCompletion: sim.Forever}
+	var bestIvl sim.Time
+	for i := 0; i <= points; i++ {
+		if !results[i].Censored && results[i].MeanCompletion < best.MeanCompletion {
+			best = results[i]
+			bestIvl = intervals[i]
 		}
 	}
 	if bestIvl == 0 {

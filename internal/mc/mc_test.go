@@ -1,0 +1,291 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"northstar/internal/stats"
+)
+
+// sequentialTally is the reference reduction: the plain sequential loop
+// every sharded run must reproduce.
+func sequentialTally(n int, seed int64) (intSum int64, floatSum float64) {
+	st := stats.NewStream()
+	for r := 0; r < n; r++ {
+		st.Reseed(stats.Substream(seed, uint64(r)))
+		intSum += int64(st.Rand.Intn(1000))
+		floatSum += st.Rand.Float64()
+	}
+	return
+}
+
+func shardedTally(p *Pool, shards, n int, seed int64) (intSum int64, floatSum float64) {
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	Replicate(p, shards, n, seed, func(r int, rng *rand.Rand) {
+		ints[r] = int64(rng.Intn(1000))
+		floats[r] = rng.Float64()
+	})
+	for r := 0; r < n; r++ {
+		intSum += ints[r]
+		floatSum += floats[r]
+	}
+	return
+}
+
+// TestReplicateShardReduceMatchesSequential is the reducer property
+// test: for arbitrary (n, seed, shards), shard-reduce equals the
+// sequential loop — exactly for integer tallies, and bit-identical (a
+// stronger guarantee than the 1-ulp tolerance the contract promises) for
+// float sums, because reduction happens in replication order.
+func TestReplicateShardReduceMatchesSequential(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	prop := func(nRaw uint16, seed int64, shardsRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		shards := int(shardsRaw%12) + 1
+		wantInt, wantFloat := sequentialTally(n, seed)
+		gotInt, gotFloat := shardedTally(p, shards, n, seed)
+		return gotInt == wantInt && math.Float64bits(gotFloat) == math.Float64bits(wantFloat)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicateRaceShards8 exists for the race detector: shards=8 on an
+// 8-helper pool, all shards writing per-replication slots concurrently.
+func TestReplicateRaceShards8(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	for iter := 0; iter < 20; iter++ {
+		a, b := shardedTally(p, 8, 400, int64(iter))
+		c, d := sequentialTally(400, int64(iter))
+		if a != c || b != d {
+			t.Fatalf("iter %d: sharded (%d,%v) != sequential (%d,%v)", iter, a, b, c, d)
+		}
+	}
+}
+
+func TestReplicateCensoredMatchesSequentialBreak(t *testing.T) {
+	// Censor rule: replication r censors iff its first draw < 0.02.
+	censors := func(rng *rand.Rand) bool { return rng.Float64() < 0.02 }
+
+	seqFirst := func(n int, seed int64) int {
+		st := stats.NewStream()
+		for r := 0; r < n; r++ {
+			st.Reseed(stats.Substream(seed, uint64(r)))
+			if censors(st.Rand) {
+				return r
+			}
+		}
+		return n
+	}
+
+	p := NewPool(4)
+	defer p.Close()
+	prop := func(nRaw uint16, seed int64, shardsRaw uint8) bool {
+		n := int(nRaw%400) + 1
+		shards := int(shardsRaw%10) + 1
+		want := seqFirst(n, seed)
+		executed := make([]atomic.Bool, n)
+		got := ReplicateCensored(p, shards, n, seed, func(r int, rng *rand.Rand) bool {
+			executed[r].Store(true)
+			return censors(rng)
+		})
+		if got != want {
+			return false
+		}
+		// Every replication below the censor point must have executed.
+		for r := 0; r < got; r++ {
+			if !executed[r].Load() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicateSeedsAreSubstreams(t *testing.T) {
+	// The first draw of replication r must equal the first draw of a
+	// fresh rand seeded with Substream(seed, r).
+	const n, seed = 64, 99
+	got := make([]uint64, n)
+	Replicate(nil, 4, n, seed, func(r int, rng *rand.Rand) { got[r] = rng.Uint64() })
+	for r := 0; r < n; r++ {
+		if want := stats.NewRand(stats.Substream(seed, uint64(r))).Uint64(); got[r] != want {
+			t.Fatalf("replication %d: draw %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+func TestNestedDoDoesNotDeadlock(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	ForEach(p, 8, func(i int) {
+		// Inner parallel loop on the same (possibly fully busy) pool.
+		ForEach(p, 8, func(j int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("ran %d inner iterations, want 64", total.Load())
+	}
+}
+
+func TestZeroHelperPoolRunsInline(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	sum := 0
+	ForEach(p, 10, func(i int) { sum += i }) // safe: no helpers, all inline
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil Workers() = %d, want 1", p.Workers())
+	}
+	sum := 0
+	ForEach(p, 10, func(i int) { sum += i })
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+	p.Close() // must not panic
+}
+
+func TestShardsResolution(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, 4},  // auto: helpers+1
+		{0, 2, 2},    // auto clamped to n
+		{8, 100, 8},  // explicit
+		{8, 5, 5},    // explicit clamped to n
+		{1, 100, 1},  // explicit sequential
+		{-3, 100, 4}, // negative means auto
+	}
+	for _, c := range cases {
+		if got := Shards(p, c.requested, c.n); got != c.want {
+			t.Errorf("Shards(p, %d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+	if got := Shards(nil, 0, 100); got != 1 {
+		t.Errorf("Shards(nil, 0, 100) = %d, want 1", got)
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	SetDefaultWorkers(2)
+	if w := Default().Workers(); w != 3 {
+		t.Fatalf("Workers() = %d after SetDefaultWorkers(2), want 3", w)
+	}
+	var n atomic.Int64
+	ForEach(Default(), 16, func(i int) { n.Add(1) })
+	if n.Load() != 16 {
+		t.Fatalf("ran %d iterations, want 16", n.Load())
+	}
+	SetDefaultWorkers(0)
+	if w := Default().Workers(); w != 1 {
+		t.Fatalf("Workers() = %d after SetDefaultWorkers(0), want 1", w)
+	}
+}
+
+func TestPropagatorWrapsEveryTask(t *testing.T) {
+	var setups, wrapped atomic.Int64
+	SetPropagator(func() func(func()) {
+		setups.Add(1)
+		return func(task func()) {
+			wrapped.Add(1)
+			task()
+		}
+	})
+	defer SetPropagator(nil)
+
+	p := NewPool(2)
+	defer p.Close()
+	var ran atomic.Int64
+	ForEach(p, 9, func(i int) { ran.Add(1) })
+	if ran.Load() != 9 || wrapped.Load() != 9 {
+		t.Fatalf("ran %d wrapped %d, want 9 and 9", ran.Load(), wrapped.Load())
+	}
+	if setups.Load() != 1 {
+		t.Fatalf("propagator invoked %d times for one Do, want 1", setups.Load())
+	}
+
+	SetPropagator(nil)
+	ForEach(p, 3, func(i int) {})
+	if wrapped.Load() != 9 {
+		t.Fatalf("wrapper ran after SetPropagator(nil)")
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Do(nil)
+	ran := false
+	p.Do([]func(){func() { ran = true }})
+	if !ran {
+		t.Fatal("single task did not run")
+	}
+}
+
+// BenchmarkShardReplicate measures ns/replication of the shard engine at
+// shards=1/2/4/8 on a moderately priced replication body (an exponential
+// draw plus float accumulation), the shape of the fault-model loops.
+func BenchmarkShardReplicate(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "shards=1", 2: "shards=2", 4: "shards=4", 8: "shards=8"}[shards], func(b *testing.B) {
+			p := NewPool(shards - 1)
+			defer p.Close()
+			const n = 4096
+			out := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Replicate(p, shards, n, 42, func(r int, rng *rand.Rand) {
+					out[r] = rng.ExpFloat64()
+				})
+				var sum float64
+				for _, v := range out {
+					sum += v
+				}
+				_ = sum
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/rep")
+		})
+	}
+}
+
+// BenchmarkShardSingleStreamBaseline is the pre-sharding reference: one
+// math/rand stream, no substream reseeding, no pool. The delta against
+// BenchmarkShardReplicate/shards=1 is the sharding overhead.
+func BenchmarkShardSingleStreamBaseline(b *testing.B) {
+	const n = 4096
+	out := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		for r := 0; r < n; r++ {
+			out[r] = rng.ExpFloat64()
+		}
+		var sum float64
+		for _, v := range out {
+			sum += v
+		}
+		_ = sum
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/rep")
+}

@@ -79,6 +79,30 @@ func (p *KernelProbe) HeapCompacted(now sim.Time, removed, live int) {
 	p.compacted += uint64(removed)
 }
 
+// Merge folds q's counters into p. The suite observer uses it to fold
+// per-task child probes back into a spec's probe when an experiment
+// shards work across mc pool goroutines. Every field is a sum or a max,
+// which commute, so the merged totals are independent of how tasks were
+// scheduled onto goroutines. Not safe for concurrent use — callers
+// serialize merges (see SuiteObserver's propagator).
+func (p *KernelProbe) Merge(q *KernelProbe) {
+	p.scheduled += q.scheduled
+	p.fired += q.fired
+	p.cancelled += q.cancelled
+	p.fastPath += q.fastPath
+	p.compactions += q.compactions
+	p.compacted += q.compacted
+	if q.peakPending > p.peakPending {
+		p.peakPending = q.peakPending
+	}
+	if q.lastVT > p.lastVT {
+		p.lastVT = q.lastVT
+	}
+	for i := range p.depthCounts {
+		p.depthCounts[i] += q.depthCounts[i]
+	}
+}
+
 // Scheduled returns the number of events scheduled.
 func (p *KernelProbe) Scheduled() uint64 { return p.scheduled }
 

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"northstar/internal/mc"
 	"northstar/internal/sim"
 )
 
@@ -92,12 +93,14 @@ func (o *SuiteObserver) Begin(total, workers int) {
 	if !sim.InstallKernelHook(o.attach) {
 		panic("obs: SuiteObserver.Begin: a sim kernel hook is already installed; only one observed suite may run at a time")
 	}
+	mc.SetPropagator(o.forkProbe)
 }
 
 // End removes the kernel hook and writes suite totals into the "suite"
 // scope (specs/events/failures/retries/timeouts counters, host_seconds
 // gauge).
 func (o *SuiteObserver) End() {
+	mc.SetPropagator(nil)
 	sim.SetKernelHook(nil)
 	o.mu.Lock()
 	fired, scheduled := o.totalFired, o.totalEvents
@@ -118,6 +121,44 @@ func (o *SuiteObserver) End() {
 func (o *SuiteObserver) attach(k *sim.Kernel) {
 	if p, ok := o.binding.Load(goid()); ok {
 		k.SetProbe(p.(*KernelProbe))
+	}
+}
+
+// forkProbe is the mc.Propagator: it carries probe attribution across
+// the intra-experiment worker pool. Invoked once per mc Do on the
+// submitting goroutine; if that goroutine has a bound probe, every task
+// of the Do runs under a fresh child probe bound to whichever goroutine
+// executes it (saving and restoring that goroutine's previous binding,
+// so inline execution on the submitter works too), and the child's
+// counters are merged into the submitter's probe when the task returns.
+// Merges serialize on a per-Do mutex, and KernelProbe.Merge only sums
+// and maxes, so the spec's totals are deterministic no matter how tasks
+// land on goroutines. Nested Do calls nest naturally: the inner Do's
+// submitter is bound to an outer child probe, which becomes the inner
+// parent.
+func (o *SuiteObserver) forkProbe() func(task func()) {
+	parentAny, ok := o.binding.Load(goid())
+	if !ok {
+		return nil // unobserved caller: nothing to attribute
+	}
+	parent := parentAny.(*KernelProbe)
+	var mu sync.Mutex
+	return func(task func()) {
+		child := NewKernelProbe()
+		id := goid()
+		prev, hadPrev := o.binding.Load(id)
+		o.binding.Store(id, child)
+		defer func() {
+			if hadPrev {
+				o.binding.Store(id, prev)
+			} else {
+				o.binding.Delete(id)
+			}
+			mu.Lock()
+			parent.Merge(child)
+			mu.Unlock()
+		}()
+		task()
 	}
 }
 
