@@ -38,21 +38,24 @@ import (
 	"northstar/internal/stats"
 )
 
-// Report is the schema of BENCH_runner.json (northstar-bench/v3; the
+// Report is the schema of BENCH_runner.json (northstar-bench/v4; the
 // schema is documented in EXPERIMENTS.md). Kernel is the unobserved
 // (nil-probe) hot path; KernelProbed repeats the measurement with an
 // obs.KernelProbe attached, pinning the enabled-observability overhead
 // and proving the disabled path stays allocation-free. Shards measures
 // the Monte Carlo shard engine on the suite's slowest replication loop.
+// LongPoles records the long-pole attack (v3 baseline vs this run) —
+// see LongPoleDelta.
 type Report struct {
-	Schema       string    `json:"schema"`
-	Generated    string    `json:"generated_by"`
-	Host         HostInfo  `json:"host"`
-	Kernel       KernelRes `json:"kernel"`
-	KernelProbed KernelRes `json:"kernel_probed"`
-	Suite        SuiteRes  `json:"suite"`
-	Shards       ShardRes  `json:"shard_scaling"`
-	Seed         *SeedRef  `json:"seed_baseline,omitempty"`
+	Schema       string        `json:"schema"`
+	Generated    string        `json:"generated_by"`
+	Host         HostInfo      `json:"host"`
+	Kernel       KernelRes     `json:"kernel"`
+	KernelProbed KernelRes     `json:"kernel_probed"`
+	Suite        SuiteRes      `json:"suite"`
+	Shards       ShardRes      `json:"shard_scaling"`
+	LongPoles    LongPoleDelta `json:"long_pole_delta"`
+	Seed         *SeedRef      `json:"seed_baseline,omitempty"`
 }
 
 // HostInfo identifies the measuring host; wall-clock numbers are only
@@ -99,6 +102,45 @@ type LongPole struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// LongPoleDelta records the long-pole optimization campaign: for each
+// targeted spec, the sequential seconds measured at the v3 baseline
+// (container/heap-era numbers from the committed northstar-bench/v3
+// report, reference container) against this run's spec_seconds, plus the
+// suite-wide before/after and the sequential-time budget the CI guard
+// enforces (`bench -guard`).
+type LongPoleDelta struct {
+	Baseline           string      `json:"baseline"`
+	SuiteBudgetSeconds float64     `json:"suite_budget_seconds"`
+	SuiteBefore        float64     `json:"suite_sequential_before_seconds"`
+	SuiteAfter         float64     `json:"suite_sequential_after_seconds"`
+	Poles              []PoleDelta `json:"poles"`
+}
+
+// PoleDelta is one targeted spec's before/after measurement.
+type PoleDelta struct {
+	ID      string  `json:"id"`
+	Before  float64 `json:"before_seconds"`
+	After   float64 `json:"after_seconds"`
+	Speedup float64 `json:"speedup"`
+}
+
+// poleBaseline is the committed northstar-bench/v3 spec_seconds for the
+// three long poles named by ROADMAP item 4, measured on the reference
+// container (1 CPU) before the order-statistics, shared-oracle, and
+// machine-reuse work. suiteBaselineSeconds is that report's full
+// sequential suite time; suiteBudgetSeconds is the post-optimization
+// budget the guard holds the suite to.
+var poleBaseline = []PoleDelta{
+	{ID: "E9", Before: 2.01},
+	{ID: "X6", Before: 1.672},
+	{ID: "E7", Before: 0.665},
+}
+
+const (
+	suiteBaselineSeconds = 5.919
+	suiteBudgetSeconds   = 3.0
+)
+
 // ShardRes reports the Monte Carlo shard engine's scaling on the E9
 // first-failure loop (the suite's slowest replication body): ns per
 // replication at shards 1/2/4/8 on a pool sized to match, the
@@ -144,10 +186,17 @@ func main() {
 	quick := flag.Bool("quick", false, "run the suite at CI scale")
 	par := flag.Int("par", 0, "parallel suite workers; 0 = one per CPU")
 	out := flag.String("o", "BENCH_runner.json", `output path ("-" for stdout)`)
+	guard := flag.Bool("guard", false,
+		"regression-guard mode: measure spec_seconds only and fail if any long pole regresses >25% vs the committed baseline or the suite exceeds its budget")
+	baseline := flag.String("baseline", "BENCH_runner.json", "committed report the guard compares against")
 	flag.Parse()
 
+	if *guard {
+		os.Exit(runGuard(*baseline))
+	}
+
 	rep := Report{
-		Schema:    "northstar-bench/v3",
+		Schema:    "northstar-bench/v4",
 		Generated: "go run ./cmd/bench (see scripts/bench.sh)",
 		Host: HostInfo{
 			Go:         runtime.Version(),
@@ -196,6 +245,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "bench: shard scaling (Monte Carlo engine)...\n")
 	rep.Shards = benchShards()
+
+	rep.LongPoles = poleDelta(rep.Suite.SequentialSeconds, rep.Suite.SpecSeconds)
+	printDelta(os.Stderr, rep.LongPoles)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -388,6 +440,90 @@ func benchShards() ShardRes {
 		fatal(fmt.Errorf("shard bit-identity self-check failed; results depend on shard count"))
 	}
 	return res
+}
+
+// poleDelta fills the long_pole_delta section from this run's observed
+// sequential breakdown against the hardcoded v3 baseline.
+func poleDelta(suiteSeconds float64, specSeconds map[string]float64) LongPoleDelta {
+	d := LongPoleDelta{
+		Baseline: "northstar-bench/v3 (pre order-statistics / shared-oracle / " +
+			"machine-reuse), reference container (1 CPU)",
+		SuiteBudgetSeconds: suiteBudgetSeconds,
+		SuiteBefore:        suiteBaselineSeconds,
+		SuiteAfter:         suiteSeconds,
+	}
+	for _, p := range poleBaseline {
+		p.After = specSeconds[p.ID]
+		if p.After > 0 {
+			p.Speedup = round3(p.Before / p.After)
+		}
+		d.Poles = append(d.Poles, p)
+	}
+	return d
+}
+
+// printDelta renders the long-pole before/after table (the headline of
+// the perf campaign; scripts/bench.sh shows it after every run).
+func printDelta(w io.Writer, d LongPoleDelta) {
+	fmt.Fprintf(w, "bench: long-pole delta vs v3 baseline\n")
+	fmt.Fprintf(w, "  %-6s %10s %10s %9s\n", "spec", "before-s", "after-s", "speedup")
+	for _, p := range d.Poles {
+		fmt.Fprintf(w, "  %-6s %10.3f %10.3f %8.1fx\n", p.ID, p.Before, p.After, p.Speedup)
+	}
+	fmt.Fprintf(w, "  %-6s %10.3f %10.3f   (budget %.1f s)\n",
+		"suite", d.SuiteBefore, d.SuiteAfter, d.SuiteBudgetSeconds)
+}
+
+// runGuard is the CI regression guard: it measures only the sequential
+// spec breakdown (the cheap part of the full report), loads the
+// committed report, and fails if any targeted long pole regressed by
+// more than 25% against the committed spec_seconds or the suite's
+// sequential wall clock exceeds the committed budget. Wall-clock numbers
+// are host-dependent, so the 25% margin plus the absolute budget — not
+// equality — is the contract.
+func runGuard(baselinePath string) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: guard: cannot read committed baseline: %v\n", err)
+		return 1
+	}
+	var committed Report
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: guard: cannot parse %s: %v\n", baselinePath, err)
+		return 1
+	}
+	budget := committed.LongPoles.SuiteBudgetSeconds
+	if budget <= 0 {
+		budget = suiteBudgetSeconds
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: guard: suite sequential (full scale, observed)...\n")
+	start := time.Now()
+	specSeconds, _ := benchSpecBreakdown(false)
+	suiteSeconds := round3(time.Since(start).Seconds())
+
+	printDelta(os.Stderr, poleDelta(suiteSeconds, specSeconds))
+	failed := false
+	for _, p := range poleBaseline {
+		was := committed.Suite.SpecSeconds[p.ID]
+		now := specSeconds[p.ID]
+		if was > 0 && now > was*1.25 {
+			fmt.Fprintf(os.Stderr, "bench: guard: %s regressed: %.3f s vs committed %.3f s (>25%%)\n",
+				p.ID, now, was)
+			failed = true
+		}
+	}
+	if suiteSeconds > budget {
+		fmt.Fprintf(os.Stderr, "bench: guard: suite sequential %.3f s exceeds budget %.1f s\n",
+			suiteSeconds, budget)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "bench: guard: ok (suite %.3f s within %.1f s budget, long poles within 25%% of committed)\n",
+		suiteSeconds, budget)
+	return 0
 }
 
 func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

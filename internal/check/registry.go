@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -128,6 +129,7 @@ var declared = map[string][]Invariant{
 		Monotone("all-up-availability", Decreasing, true),
 		Positive("mtbf(exp)"), Positive("first-failure(weibull-0.7)"),
 		UnitInterval("all-up-availability"),
+		Custom("first-failure-tracks-analytic", checkE9FirstFailure),
 	},
 	"E10": { // checkpointing: Young >= Daly, simulated optimum tracks Young
 		Columns("nodes", "system-mtbf", "young", "daly", "simulated-opt",
@@ -288,6 +290,36 @@ func checkE7Winner(t *experiments.Table) error {
 		}
 		if optical < packet && winner != "optical" {
 			return fmt.Errorf("row %d: optical %g < packet %g but winner is %q", r, optical, packet, winner)
+		}
+	}
+	return nil
+}
+
+// checkE9FirstFailure asserts the Monte Carlo first-failure column
+// tracks the closed form for the minimum of N iid Weibull lifetimes:
+// with shape k the minimum is again Weibull with scale shrunk by
+// N^(-1/k), so the mean first failure is nodeMTBF * N^(-1/0.7) —
+// 1000 days at N=1. The 15% tolerance is deliberately loose against
+// the estimator's sampling error (the smallest row uses 200
+// replications of a shape-0.7 Weibull, whose coefficient of variation
+// is about 1.47, putting one standard error near 10%) while still
+// catching a wrong exponent, a dropped unit conversion, or an
+// order-statistics bug, all of which miss by multiples.
+func checkE9FirstFailure(t *experiments.Table) error {
+	const nodeMTBFSeconds = 1000 * 86400
+	for r := range t.Rows {
+		nodes, err := cellValue(t, r, "nodes")
+		if err != nil {
+			return err
+		}
+		got, err := cellValue(t, r, "first-failure(weibull-0.7)")
+		if err != nil {
+			return err
+		}
+		want := nodeMTBFSeconds * math.Pow(nodes, -1/0.7)
+		if got < want*0.85 || got > want*1.15 {
+			return fmt.Errorf("row %d: first-failure %gs at %g nodes, analytic mean %gs (off by %.1f%%)",
+				r, got, nodes, want, 100*(got/want-1))
 		}
 	}
 	return nil

@@ -34,9 +34,9 @@ func All() []Spec {
 		{"E5b", "eager/rendezvous protocol ablation", E5bEagerRendezvous, 0.002},
 		{"E6", "collective scaling", E6Collectives, 0.29},
 		{"E6b", "allreduce algorithm ablation", E6bAllreduceAlgos, 0.094},
-		{"E7", "optical circuit-switching crossover", E7Optical, 0.57},
+		{"E7", "optical circuit-switching crossover", E7Optical, 0.155},
 		{"E8", "batch scheduling policies", E8Scheduling, 0.21},
-		{"E9", "MTBF and availability vs scale", wrap(E9MTBF), 1.9},
+		{"E9", "MTBF and availability vs scale", wrap(E9MTBF), 0.001},
 		{"E10", "checkpoint/restart optimum", E10Checkpoint, 0.044},
 		{"E11", "trans-petaflops crossing", wrap(E11Petaflops), 0.015},
 		{"E12", "innovation waterfall", wrap(E12Ablation), 0.001},
@@ -45,7 +45,7 @@ func All() []Spec {
 		{"X3", "power-wall sensitivity", wrap(X3PowerWall), 0.002},
 		{"X4", "I/O-limited checkpointing", X4CheckpointIO, 0.0005},
 		{"X5", "management/monitoring scalability", X5Monitoring, 0.002},
-		{"X6", "node placement: contiguous vs scatter", X6Placement, 1.5},
+		{"X6", "node placement: contiguous vs scatter", X6Placement, 0.315},
 		{"X7", "congestion trees under credit flow control", X7Congestion, 0.18},
 	}
 }

@@ -336,14 +336,15 @@ func X6Placement(quick bool) (*Table, error) {
 		alloc.NewRandomScatter(512, 31),
 		alloc.NewContiguousTorus(8, 8, 8),
 	}
-	// One task per allocator on the mc pool. Each task builds its own
-	// torus graph — Graph.Dist caches BFS trees lazily, so a shared graph
-	// would race — and owns its allocator and trace clone; rows are added
-	// in allocator order.
+	// One task per allocator on the mc pool, all sharing ONE torus:
+	// topology.Graph is a concurrent-safe distance oracle (analytic O(1)
+	// Dist on tori), so the three tasks no longer pay for three graph
+	// builds. Each task still owns its allocator and trace clone; rows
+	// are added in allocator order.
+	g := topology.Torus3D(8, 8, 8)
 	results := make([]alloc.Result, len(allocators))
 	errs := make([]error, len(allocators))
 	mc.ForEach(mc.Default(), len(allocators), func(i int) {
-		g := topology.Torus3D(8, 8, 8)
 		results[i], errs[i] = alloc.SimulateFCFS(allocators[i], g, clone())
 	})
 	for i, res := range results {

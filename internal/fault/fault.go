@@ -68,6 +68,11 @@ func (s System) FirstFailureMean(runs int, seed int64) sim.Time {
 // seeded with stats.Substream(seed, r) and per-replication minima are
 // reduced in index order, so the result is bit-identical for every pool
 // size and shard count.
+//
+// Each replication samples the first-order statistic directly via
+// stats.MinOf(Lifetime, Nodes): one draw per replication instead of
+// Nodes draws for the closed-form families (Weibull, Exponential, …),
+// making the cost independent of system size.
 func (s System) FirstFailureMeanSharded(p *mc.Pool, runs int, seed int64, shards int) sim.Time {
 	if runs <= 0 {
 		// Matching Checkpoint.Simulate's runs check; without this the
@@ -77,15 +82,10 @@ func (s System) FirstFailureMeanSharded(p *mc.Pool, runs int, seed int64, shards
 	if p == nil {
 		p = mc.Default()
 	}
+	first := stats.MinOf(s.Lifetime, s.Nodes)
 	firsts := make([]float64, runs)
 	mc.Replicate(p, shards, runs, seed, func(r int, rng *rand.Rand) {
-		first := math.Inf(1)
-		for n := 0; n < s.Nodes; n++ {
-			if t := s.Lifetime.Sample(rng); t < first {
-				first = t
-			}
-		}
-		firsts[r] = first
+		firsts[r] = first.Sample(rng)
 	})
 	var sum float64
 	for _, f := range firsts {

@@ -1,0 +1,54 @@
+package machine
+
+import (
+	"testing"
+
+	"northstar/internal/network"
+	"northstar/internal/sim"
+)
+
+// Machine.Reset must make reuse indistinguishable from rebuilding: the
+// same traffic after a Reset completes at bit-identical virtual times
+// as on a fresh machine, which is what E7's payload sweep relies on.
+func TestMachineResetBitIdentical(t *testing.T) {
+	build := func() *Machine {
+		m, err := New(Config{
+			Nodes: 16, Node: model(), Fabric: network.InfiniBand4X(),
+			PacketLevel: true, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	drive := func(m *Machine) []sim.Time {
+		var deliveries []sim.Time
+		for i := 0; i < m.Nodes(); i++ {
+			dst := (i + 5) % m.Nodes()
+			m.Fabric().Send(i, dst, int64(4096*(i+1)), nil, func() {
+				deliveries = append(deliveries, m.Kernel().Now())
+			})
+		}
+		m.Run()
+		return deliveries
+	}
+
+	m := build()
+	first := drive(m)
+	m.Reset()
+	if m.Kernel().Now() != 0 {
+		t.Fatalf("clock %v after reset", m.Kernel().Now())
+	}
+	second := drive(m)
+	fresh := drive(build())
+
+	if len(first) != m.Nodes() || len(second) != len(first) || len(fresh) != len(first) {
+		t.Fatalf("delivery counts: %d first, %d reset, %d fresh", len(first), len(second), len(fresh))
+	}
+	for i := range first {
+		if first[i] != second[i] || first[i] != fresh[i] {
+			t.Fatalf("delivery %d: first %v, after reset %v, rebuilt %v",
+				i, first[i], second[i], fresh[i])
+		}
+	}
+}

@@ -61,6 +61,18 @@ func (c *Circuit) NumEndpoints() int { return c.n }
 // Preset returns the fabric's parameters.
 func (c *Circuit) Preset() Preset { return c.p }
 
+// Reset implements Fabric: all circuits torn down, lightpaths idle,
+// counters zeroed.
+func (c *Circuit) Reset() {
+	c.Counters.reset()
+	c.Reconfigs = 0
+	for i := range c.lastDst {
+		c.lastDst[i] = -1
+		c.egressFree[i] = 0
+		c.ingressFree[i] = 0
+	}
+}
+
 // Send implements Fabric.
 func (c *Circuit) Send(src, dst int, bytes int64, onInjected, onDelivered func()) {
 	if src < 0 || src >= c.n || dst < 0 || dst >= c.n {

@@ -73,6 +73,13 @@ func (h *Hierarchical) RanksPerNode() int { return h.ranksPerNode }
 // NodeOf returns the node index hosting rank ep.
 func (h *Hierarchical) NodeOf(ep int) int { return ep / h.ranksPerNode }
 
+// Reset implements Fabric, resetting both levels.
+func (h *Hierarchical) Reset() {
+	h.Counters.reset()
+	h.intra.Reset()
+	h.inter.Reset()
+}
+
 // Send implements Fabric.
 func (h *Hierarchical) Send(src, dst int, bytes int64, onInjected, onDelivered func()) {
 	if src < 0 || src >= h.NumEndpoints() || dst < 0 || dst >= h.NumEndpoints() {

@@ -77,6 +77,15 @@ func (f *LogGP) Send(src, dst int, bytes int64, onInjected, onDelivered func()) 
 	}
 }
 
+// Reset implements Fabric: all NICs idle, counters zeroed.
+func (f *LogGP) Reset() {
+	f.Counters.reset()
+	for i := range f.egressFree {
+		f.egressFree[i] = 0
+		f.ingressFree[i] = 0
+	}
+}
+
 // MessageTime returns the analytic uncontended end-to-end time for one
 // message of the given size: 2o + max(g, k·G) + L. Useful as a closed-
 // form reference in tests and reports.

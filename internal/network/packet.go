@@ -25,6 +25,16 @@ type PacketNet struct {
 	linkFree []sim.Time
 	// HopsTraversed counts total packet-hops, for congestion metrics.
 	HopsTraversed int64
+	// BatchBulk enables the steady-state fast path in Send: once a
+	// message's full-MTU packets are link-limited at every hop with
+	// invariant spacing, the remaining ones are applied in O(hops)
+	// arithmetic instead of O(packets × hops). The extrapolated times
+	// match the per-packet loop to ~1e-9 relative (one multiply versus
+	// repeated float adds; see the differential test) but are not
+	// bit-identical, and ulp-level shifts can reorder same-time events
+	// downstream — so experiments with pinned outputs must leave it off
+	// unless their tables are regenerated. Off by default.
+	BatchBulk bool
 }
 
 // NewPacketNet builds a packet fabric over g using preset p. The fabric's
@@ -55,6 +65,15 @@ func (f *PacketNet) NumEndpoints() int { return len(f.eps) }
 
 // Graph returns the underlying topology.
 func (f *PacketNet) Graph() *topology.Graph { return f.g }
+
+// Reset implements Fabric: all links idle, counters zeroed.
+func (f *PacketNet) Reset() {
+	f.Counters.reset()
+	f.HopsTraversed = 0
+	for i := range f.linkFree {
+		f.linkFree[i] = 0
+	}
+}
 
 // Send implements Fabric.
 func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func()) {
@@ -104,10 +123,13 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 			tx = f.p.Gap
 		}
 		t := readyAt
+		limited := true // this packet departed link-limited at every hop
 		for h, dl := range dlinks {
 			dep := t
-			if f.linkFree[dl] > dep {
+			if f.linkFree[dl] >= dep {
 				dep = f.linkFree[dl]
+			} else {
+				limited = false
 			}
 			f.linkFree[dl] = dep + tx
 			t = dep + tx + f.p.PerHopDelay
@@ -118,6 +140,39 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 		}
 		// Wire latency is charged once (PerHopDelay covers switching).
 		lastDeliver = t + f.p.Latency
+
+		// Steady-state fast path. Once a full-MTU packet departs
+		// link-limited at every hop and consecutive links along the route
+		// are spaced at least tx+PerHopDelay apart, each following full
+		// packet repeats the identical max-plus recurrence shifted by
+		// exactly tx: dep(h) = linkFree(h), linkFree(h) += tx, and the
+		// spacing is preserved — so the condition is invariant and the
+		// remaining full packets can be applied in O(hops) arithmetic
+		// instead of O(packets × hops). A trailing partial packet (if
+		// any) still goes through the loop above. This keeps bulk
+		// transfers (the alltoall sweeps) linear in route length rather
+		// than packet count.
+		if r := remaining / mtu; f.BatchBulk && limited && r > 0 && size == mtu {
+			spaced := true
+			for h := 1; h < len(dlinks); h++ {
+				if f.linkFree[dlinks[h]] < f.linkFree[dlinks[h-1]]+tx+f.p.PerHopDelay {
+					spaced = false
+					break
+				}
+			}
+			if spaced {
+				shift := sim.Time(r) * tx
+				for _, dl := range dlinks {
+					f.linkFree[dl] += shift
+				}
+				f.HopsTraversed += r * int64(len(dlinks))
+				lastInject = f.linkFree[dlinks[0]]
+				last := len(dlinks) - 1
+				lastDeliver = f.linkFree[dlinks[last]] + f.p.PerHopDelay + f.p.Latency
+				remaining -= r * mtu
+				pkt += r
+			}
+		}
 	}
 	if onInjected != nil {
 		f.k.At(lastInject, onInjected)

@@ -1,0 +1,105 @@
+package network
+
+import (
+	"testing"
+
+	"northstar/internal/sim"
+	"northstar/internal/topology"
+)
+
+// Every fabric's Reset must restore the just-built state exactly: the
+// same traffic replayed after a Reset produces bit-identical delivery
+// times and counters as on the fresh fabric, with the counters zeroed
+// in between. This is the contract machine.Reset (E7's sweep reuse)
+// depends on.
+func TestFabricResetBitIdentical(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(k *sim.Kernel) Fabric
+	}{
+		{"loggp", func(k *sim.Kernel) Fabric { return NewLogGP(k, Myrinet2000(), 8) }},
+		{"circuit", func(k *sim.Kernel) Fabric { return NewCircuit(k, OpticalCircuit(), 8) }},
+		{"packet", func(k *sim.Kernel) Fabric {
+			return NewPacketNet(k, InfiniBand4X(), topology.FatTree(4, 2))
+		}},
+		{"wormhole", func(k *sim.Kernel) Fabric {
+			return NewWormholeNet(k, Myrinet2000(), topology.Crossbar(8), 2)
+		}},
+		{"hierarchical", func(k *sim.Kernel) Fabric {
+			inter := NewLogGP(k, GigabitEthernet(), 4)
+			h, err := NewHierarchical(NewLogGP(k, SharedMemory(1e9), 8), inter, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}},
+	}
+
+	drive := func(f Fabric) []sim.Time {
+		k := f.Kernel()
+		var deliveries []sim.Time
+		n := f.NumEndpoints()
+		for i := 0; i < n; i++ {
+			src, dst := i, (i+3)%n
+			if src == dst {
+				continue
+			}
+			f.Send(src, dst, int64(1000*(i+1)), nil, func() {
+				deliveries = append(deliveries, k.Now())
+			})
+		}
+		k.Run()
+		return deliveries
+	}
+
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			k := sim.New(5)
+			f := b.build(k)
+			if f.Name() == "" {
+				t.Fatalf("empty fabric name")
+			}
+			if f.Kernel() != k {
+				t.Fatalf("fabric kernel is not the construction kernel")
+			}
+			first := drive(f)
+			if len(first) == 0 {
+				t.Fatalf("no deliveries on fresh fabric")
+			}
+
+			k.Reset()
+			f.Reset()
+			second := drive(f)
+
+			kf := sim.New(5)
+			fresh := drive(b.build(kf))
+
+			if len(first) != len(second) || len(first) != len(fresh) {
+				t.Fatalf("delivery counts diverge: %d fresh-run, %d reset, %d rebuilt",
+					len(first), len(second), len(fresh))
+			}
+			for i := range first {
+				if first[i] != second[i] || first[i] != fresh[i] {
+					t.Fatalf("delivery %d diverges: first %v, after reset %v, rebuilt %v",
+						i, first[i], second[i], fresh[i])
+				}
+			}
+		})
+	}
+}
+
+// Reset must zero the embedded traffic counters on every fabric.
+func TestFabricResetZeroesCounters(t *testing.T) {
+	k := sim.New(1)
+	f := NewLogGP(k, FastEthernet(), 2)
+	f.Send(0, 1, 4096, nil, nil)
+	k.Run()
+	if f.Messages != 1 || f.Bytes != 4096 {
+		t.Fatalf("counters before reset: %d msgs, %d bytes", f.Messages, f.Bytes)
+	}
+	k.Reset()
+	f.Reset()
+	if f.Messages != 0 || f.Bytes != 0 {
+		t.Fatalf("counters after reset: %d msgs, %d bytes", f.Messages, f.Bytes)
+	}
+}

@@ -91,6 +91,19 @@ func (f *WormholeNet) NumEndpoints() int { return len(f.eps) }
 // Graph returns the underlying topology.
 func (f *WormholeNet) Graph() *topology.Graph { return f.g }
 
+// Reset implements Fabric: every link idle with a full credit pool, no
+// waiting packets, counters zeroed. Call only after a drained run; a
+// packet still in flight would resume against the refilled credits.
+func (f *WormholeNet) Reset() {
+	f.Counters.reset()
+	f.Stalls = 0
+	for _, l := range f.links {
+		l.busy = false
+		l.credits = f.bufferPackets
+		l.waiting = nil
+	}
+}
+
 // Send implements Fabric.
 func (f *WormholeNet) Send(src, dst int, bytes int64, onInjected, onDelivered func()) {
 	if src < 0 || src >= len(f.eps) || dst < 0 || dst >= len(f.eps) {

@@ -150,6 +150,7 @@ type Kernel struct {
 
 	free    []*event // payload free list; bounded by peak pending events
 	seq     uint64
+	seed    int64 // construction seed, replayed by Reset
 	rng     *rand.Rand
 	fired   uint64
 	stopped bool
@@ -168,6 +169,7 @@ type Kernel struct {
 // seed. The same seed yields an identical simulation.
 func New(seed int64) *Kernel {
 	k := &Kernel{
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 	}
@@ -175,6 +177,31 @@ func New(seed int64) *Kernel {
 		(*h)(k)
 	}
 	return k
+}
+
+// Reset returns the kernel to the state New(seed) produced: clock at
+// zero, empty schedule, randomness re-seeded, Fired back to zero. It
+// lets a built simulation (a machine with its fabric) be reused across
+// runs instead of reconstructed. Reset panics if events are still
+// pending: it is for reusing a kernel after a drained Run, not for
+// aborting one (a Proc parked in Suspend would likewise outlive the
+// reset — finish or interrupt procs first). The event free list
+// survives, so the reused kernel also skips its warm-up allocations.
+func (k *Kernel) Reset() {
+	k.drainDead()
+	if k.Pending() > 0 {
+		panic(fmt.Sprintf("sim: Reset with %d events still pending", k.Pending()))
+	}
+	k.now = 0
+	k.heap = k.heap[:0]
+	k.nowq = k.nowq[:0]
+	k.qhead = 0
+	k.dead = 0
+	k.seq = 0
+	k.fired = 0
+	k.stopped = false
+	k.procs = 0
+	k.rng = rand.New(rand.NewSource(k.seed))
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,94 @@
+package topology
+
+import "math/bits"
+
+// Closed-form shortest-path distances. Every regular builder in this
+// package wires the same local shape — routers in a known coordinate
+// system, each endpoint hanging one hop off its router — so the hop
+// count between any two vertices is
+//
+//	legs(src) + routerDist(router(src), router(dst)) + legs(dst)
+//
+// with legs = 1 for an endpoint and 0 for a router/switch. The builders
+// attach an analytic oracle carrying the per-vertex router index plus a
+// kind-specific routerDist; Dist uses it instead of BFS whenever no
+// edges are disabled (a disabled edge can lengthen shortest paths, so
+// the oracle is bypassed — not rebuilt — while failures are active).
+type analytic struct {
+	// router[v] is the linear router coordinate vertex v sits at (its
+	// own index for a router, its attachment router's for an endpoint).
+	router []int32
+	// leg[v] is the NIC-to-router hop: 1 for endpoints, 0 for routers.
+	leg []int8
+	// routerDist returns the hop count between two router coordinates.
+	routerDist func(a, b int32) int
+}
+
+func (a *analytic) dist(src, dst int) int {
+	d := int(a.leg[src]) + int(a.leg[dst])
+	if ra, rb := a.router[src], a.router[dst]; ra != rb {
+		d += a.routerDist(ra, rb)
+	}
+	return d
+}
+
+// attachAnalytic records the oracle; builders call it after adding all
+// vertices, passing the per-vertex router coordinate (endpoints carry
+// their attachment router's coordinate).
+func (g *Graph) attachAnalytic(router []int32, routerDist func(a, b int32) int) {
+	leg := make([]int8, len(g.verts))
+	for v, vert := range g.verts {
+		if vert.Endpoint {
+			leg[v] = 1
+		}
+	}
+	g.analytic = &analytic{router: router, leg: leg, routerDist: routerDist}
+}
+
+// ringDist is the hop count along one torus/mesh dimension of width w:
+// wraparound (only wired when w > 2, matching the builders) halves the
+// worst case.
+func ringDist(a, b, w int, wrap bool) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap && w > 2 && w-d < d {
+		d = w - d
+	}
+	return d
+}
+
+// crossbarDist: every router pair is the same single switch, so the
+// oracle never sees ra != rb with distinct routers; distance is legs
+// only. Kept as a named function for the builder's readability.
+func crossbarDist(a, b int32) int {
+	if a != b {
+		panic("topology: crossbar has a single switch")
+	}
+	return 0
+}
+
+// gridDist returns the routerDist for a w×h grid, with per-dimension
+// wraparound matching the builder's wiring.
+func gridDist(w, h int, wrap bool) func(a, b int32) int {
+	return func(a, b int32) int {
+		ax, ay := int(a)%w, int(a)/w
+		bx, by := int(b)%w, int(b)/w
+		return ringDist(ax, bx, w, wrap) + ringDist(ay, by, h, wrap)
+	}
+}
+
+// torus3dDist returns the routerDist for an x×y×z torus.
+func torus3dDist(x, y, z int) func(a, b int32) int {
+	return func(a, b int32) int {
+		ai, aj, ak := int(a)%x, (int(a)/x)%y, int(a)/(x*y)
+		bi, bj, bk := int(b)%x, (int(b)/x)%y, int(b)/(x*y)
+		return ringDist(ai, bi, x, true) + ringDist(aj, bj, y, true) + ringDist(ak, bk, z, true)
+	}
+}
+
+// hypercubeDist is the Hamming distance between router indices.
+func hypercubeDist(a, b int32) int {
+	return bits.OnesCount32(uint32(a ^ b))
+}

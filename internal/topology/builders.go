@@ -15,6 +15,7 @@ func Crossbar(n int) *Graph {
 		g.AddEdge(ep, sw)
 	}
 	g.BisectionLinks = (n + 1) / 2
+	g.attachAnalytic(make([]int32, n+1), crossbarDist) // all vertices sit at the one switch
 	mustFinalize(g)
 	return g
 }
@@ -80,12 +81,14 @@ func grid2d(w, h int, wrap bool) *Graph {
 	}
 	g := NewGraph(fmt.Sprintf("%s-%dx%d", kind, w, h))
 	routers := make([]int, w*h)
+	coord := make([]int32, 2*w*h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			i := y*w + x
 			routers[i] = g.AddVertex(Vertex{Label: fmt.Sprintf("r%d.%d", x, y)})
 			ep := g.AddVertex(Vertex{Endpoint: true, Label: fmt.Sprintf("n%d.%d", x, y)})
 			g.AddEdge(ep, routers[i])
+			coord[routers[i]], coord[ep] = int32(i), int32(i)
 		}
 	}
 	for y := 0; y < h; y++ {
@@ -112,6 +115,7 @@ func grid2d(w, h int, wrap bool) *Graph {
 	if wrap && long > 2 {
 		g.BisectionLinks = 2 * short
 	}
+	g.attachAnalytic(coord, gridDist(w, h, wrap))
 	mustFinalize(g)
 	return g
 }
@@ -124,12 +128,14 @@ func Torus3D(x, y, z int) *Graph {
 	g := NewGraph(fmt.Sprintf("torus3d-%dx%dx%d", x, y, z))
 	idx := func(i, j, k int) int { return (k*y+j)*x + i }
 	routers := make([]int, x*y*z)
+	coord := make([]int32, 2*x*y*z)
 	for k := 0; k < z; k++ {
 		for j := 0; j < y; j++ {
 			for i := 0; i < x; i++ {
 				routers[idx(i, j, k)] = g.AddVertex(Vertex{Label: fmt.Sprintf("r%d.%d.%d", i, j, k)})
 				ep := g.AddVertex(Vertex{Endpoint: true, Label: fmt.Sprintf("n%d.%d.%d", i, j, k)})
 				g.AddEdge(ep, routers[idx(i, j, k)])
+				coord[routers[idx(i, j, k)]], coord[ep] = int32(idx(i, j, k)), int32(idx(i, j, k))
 			}
 		}
 	}
@@ -161,6 +167,7 @@ func Torus3D(x, y, z int) *Graph {
 	if long > 2 {
 		g.BisectionLinks = 2 * cross
 	}
+	g.attachAnalytic(coord, torus3dDist(x, y, z))
 	mustFinalize(g)
 	return g
 }
@@ -174,10 +181,12 @@ func Hypercube(dim int) *Graph {
 	n := 1 << uint(dim)
 	g := NewGraph(fmt.Sprintf("hypercube-%d", dim))
 	routers := make([]int, n)
+	coord := make([]int32, 2*n)
 	for i := 0; i < n; i++ {
 		routers[i] = g.AddVertex(Vertex{Label: fmt.Sprintf("r%d", i)})
 		ep := g.AddVertex(Vertex{Endpoint: true, Label: fmt.Sprintf("n%d", i)})
 		g.AddEdge(ep, routers[i])
+		coord[routers[i]], coord[ep] = int32(i), int32(i)
 	}
 	for i := 0; i < n; i++ {
 		for b := 0; b < dim; b++ {
@@ -191,6 +200,7 @@ func Hypercube(dim int) *Graph {
 	if dim == 0 {
 		g.BisectionLinks = 1
 	}
+	g.attachAnalytic(coord, hypercubeDist)
 	mustFinalize(g)
 	return g
 }

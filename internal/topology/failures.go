@@ -7,6 +7,12 @@ import "fmt"
 // Routing recomputes around disabled edges, modeling the degraded-but-
 // operational behavior that multi-path topologies such as fat trees and
 // tori were designed for.
+//
+// Mutators publish a fresh immutable (disabled set, tree cache)
+// snapshot instead of editing in place, so they are safe to run
+// concurrently with Dist/Route/Reachable: a reader that raced with
+// DisableEdge walks either the old failure set's trees or the new
+// one's, never a mix.
 
 // DisableEdge removes edge e from routing. It reports an error if e is
 // out of range or already disabled. Routing caches are invalidated.
@@ -14,25 +20,47 @@ func (g *Graph) DisableEdge(e int) error {
 	if e < 0 || e >= len(g.edges) {
 		return fmt.Errorf("topology: edge %d out of range", e)
 	}
-	if g.disabled == nil {
-		g.disabled = make(map[int]bool)
-	}
-	if g.disabled[e] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.routing.Load()
+	if old.disabled[e] {
 		return fmt.Errorf("topology: edge %d already disabled", e)
 	}
-	g.disabled[e] = true
-	g.trees = make(map[int][][]halfEdge)
+	disabled := make(map[int]bool, len(old.disabled)+1)
+	for k := range old.disabled {
+		disabled[k] = true
+	}
+	disabled[e] = true
+	g.publish(disabled)
 	return nil
 }
 
 // EnableEdge restores a previously disabled edge.
 func (g *Graph) EnableEdge(e int) error {
-	if !g.disabled[e] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.routing.Load()
+	if !old.disabled[e] {
 		return fmt.Errorf("topology: edge %d is not disabled", e)
 	}
-	delete(g.disabled, e)
-	g.trees = make(map[int][][]halfEdge)
+	var disabled map[int]bool
+	if len(old.disabled) > 1 {
+		disabled = make(map[int]bool, len(old.disabled)-1)
+		for k := range old.disabled {
+			if k != e {
+				disabled[k] = true
+			}
+		}
+	}
+	g.publish(disabled)
 	return nil
+}
+
+// publish swaps in a new routing snapshot with an empty tree cache.
+// Callers hold g.mu.
+func (g *Graph) publish(disabled map[int]bool) {
+	g.routing.Store(&routeState{disabled: disabled, trees: make(map[int]*treeEntry)})
+	g.numDisabled.Store(int64(len(disabled)))
 }
 
 // DisableVertex disables every edge at vertex v (a failed switch or
@@ -44,7 +72,7 @@ func (g *Graph) DisableVertex(v int) ([]int, error) {
 	}
 	var out []int
 	for _, he := range g.adj[v] {
-		if !g.disabled[he.edge] {
+		if !g.routing.Load().disabled[he.edge] {
 			if err := g.DisableEdge(he.edge); err != nil {
 				return out, err
 			}
@@ -55,7 +83,7 @@ func (g *Graph) DisableVertex(v int) ([]int, error) {
 }
 
 // DisabledEdges returns the number of currently disabled edges.
-func (g *Graph) DisabledEdges() int { return len(g.disabled) }
+func (g *Graph) DisabledEdges() int { return int(g.numDisabled.Load()) }
 
 // Reachable reports whether dst can be reached from src through enabled
 // edges.

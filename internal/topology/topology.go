@@ -4,10 +4,21 @@
 // the routes produced here, so routing is deterministic: the same
 // (src, dst) pair always takes the same path, with equal-cost multipath
 // choices resolved by a stable hash.
+//
+// A finalized Graph is a shared oracle: Dist, Route, Reachable, and the
+// other read paths are safe for concurrent use from any number of
+// goroutines, and DisableEdge/EnableEdge may run concurrently with
+// them (readers see a consistent before-or-after snapshot of the
+// failure set). Regular topologies (Crossbar, Mesh2D/Torus2D, Torus3D,
+// Hypercube) answer Dist in O(1) from coordinate arithmetic while the
+// failure set is empty; everything else is served from lazily built,
+// once-initialized per-destination BFS trees.
 package topology
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Vertex is a node of the interconnect graph: either an endpoint (a
@@ -23,12 +34,17 @@ type Edge struct {
 	A, B int
 }
 
-// Other returns the vertex on the far side of the edge from v.
+// Other returns the vertex on the far side of the edge from v. It
+// panics if v is on neither side: silently returning an arbitrary end
+// would corrupt any path walk that asked with a stale vertex id.
 func (e Edge) Other(v int) int {
-	if v == e.A {
+	switch v {
+	case e.A:
 		return e.B
+	case e.B:
+		return e.A
 	}
-	return e.A
+	panic(fmt.Sprintf("topology: vertex %d is not on edge %d-%d", v, e.A, e.B))
 }
 
 type halfEdge struct {
@@ -51,16 +67,42 @@ type Graph struct {
 	adj       [][]halfEdge
 	endpoints []int
 	final     bool
-	disabled  map[int]bool // failed links (see failures.go)
 
-	// routing cache: for each destination vertex, the multi-parent BFS
-	// tree (list of candidate next hops toward dst), built lazily.
-	trees map[int][][]halfEdge
+	// analytic, when non-nil, answers Dist in O(1) for the regular
+	// topologies; only valid while no edges are disabled.
+	analytic *analytic
+
+	// routing holds the failure set and the per-destination BFS tree
+	// cache as one immutable snapshot; DisableEdge/EnableEdge publish a
+	// replacement snapshot instead of mutating in place, so concurrent
+	// readers always see a consistent (disabled set, trees) pair.
+	routing atomic.Pointer[routeState]
+	// numDisabled mirrors len(routing.disabled) for the lock-free
+	// analytic fast path.
+	numDisabled atomic.Int64
+	// mu serializes the mutators (DisableEdge/EnableEdge).
+	mu sync.Mutex
+}
+
+// routeState is one immutable-failure-set snapshot: the disabled map is
+// never written after publication, and trees are entered under mtx then
+// built exactly once behind their entry's sync.Once.
+type routeState struct {
+	disabled map[int]bool // nil means no failures
+	mtx      sync.Mutex
+	trees    map[int]*treeEntry
+}
+
+type treeEntry struct {
+	once sync.Once
+	tree [][]halfEdge
 }
 
 // NewGraph returns an empty graph with the given name.
 func NewGraph(name string) *Graph {
-	return &Graph{Name: name, trees: make(map[int][][]halfEdge)}
+	g := &Graph{Name: name}
+	g.routing.Store(&routeState{trees: make(map[int]*treeEntry)})
+	return g
 }
 
 // AddVertex appends a vertex and returns its id.
@@ -138,14 +180,29 @@ func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 // tree returns (building if needed) the multi-parent BFS tree rooted at
 // dst: tree[v] lists the next hops from v that lie on a shortest path to
 // dst. Neighbors are explored in adjacency order, which is deterministic
-// by construction.
+// by construction. Safe for concurrent callers: the entry is created
+// under the snapshot's mutex and built exactly once; every caller that
+// raced on the same destination blocks on the same sync.Once and then
+// reads the same immutable tree.
 func (g *Graph) tree(dst int) [][]halfEdge {
-	if t, ok := g.trees[dst]; ok {
-		return t
-	}
 	if !g.final {
 		panic("topology: routing before Finalize")
 	}
+	st := g.routing.Load()
+	st.mtx.Lock()
+	e := st.trees[dst]
+	if e == nil {
+		e = &treeEntry{}
+		st.trees[dst] = e
+	}
+	st.mtx.Unlock()
+	e.once.Do(func() { e.tree = g.buildTree(dst, st.disabled) })
+	return e.tree
+}
+
+// buildTree runs the multi-parent BFS for dst against one immutable
+// failure set.
+func (g *Graph) buildTree(dst int, disabled map[int]bool) [][]halfEdge {
 	dist := make([]int, len(g.verts))
 	for i := range dist {
 		dist[i] = -1
@@ -157,7 +214,7 @@ func (g *Graph) tree(dst int) [][]halfEdge {
 		v := queue[0]
 		queue = queue[1:]
 		for _, he := range g.adj[v] {
-			if g.disabled[he.edge] {
+			if disabled[he.edge] {
 				continue
 			}
 			switch {
@@ -171,7 +228,6 @@ func (g *Graph) tree(dst int) [][]halfEdge {
 			}
 		}
 	}
-	g.trees[dst] = tree
 	return tree
 }
 
@@ -203,10 +259,15 @@ func (g *Graph) Route(src, dst int) (edges []int, verts []int) {
 }
 
 // Dist returns the hop count of the shortest path between two vertices,
-// or -1 if unreachable.
+// or -1 if unreachable. On the regular topologies (crossbar, mesh/torus,
+// hypercube) with no disabled edges it is O(1) coordinate arithmetic;
+// otherwise it walks the cached BFS tree for dst.
 func (g *Graph) Dist(src, dst int) int {
 	if src == dst {
 		return 0
+	}
+	if g.analytic != nil && g.numDisabled.Load() == 0 {
+		return g.analytic.dist(src, dst)
 	}
 	tree := g.tree(dst)
 	d := 0

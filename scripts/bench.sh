@@ -14,3 +14,18 @@ go test -run '^$' -bench 'BenchmarkKernel' -benchmem ./internal/sim/ ./internal/
 
 echo "== BENCH_runner.json =="
 go run ./cmd/bench "$@"
+
+# The long-pole before/after table, re-read from the committed report so
+# the printed numbers are exactly what review sees (v4 long_pole_delta).
+if [ -f BENCH_runner.json ]; then
+  echo "== long-pole delta (committed BENCH_runner.json) =="
+  python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_runner.json"))["long_pole_delta"]
+print(f"{'spec':6} {'before-s':>10} {'after-s':>10} {'speedup':>9}")
+for p in d["poles"]:
+    print(f"{p['id']:6} {p['before_seconds']:10.3f} {p['after_seconds']:10.3f} {p['speedup']:8.1f}x")
+print(f"{'suite':6} {d['suite_sequential_before_seconds']:10.3f} "
+      f"{d['suite_sequential_after_seconds']:10.3f}   (budget {d['suite_budget_seconds']:.1f} s)")
+EOF
+fi
