@@ -32,30 +32,58 @@ import (
 
 	"northstar/internal/experiments"
 	"northstar/internal/fault"
+	"northstar/internal/machine"
 	"northstar/internal/mc"
+	"northstar/internal/network"
+	"northstar/internal/node"
 	"northstar/internal/obs"
 	"northstar/internal/sim"
 	"northstar/internal/stats"
+	"northstar/internal/tech"
+	"northstar/internal/topology"
 )
 
-// Report is the schema of BENCH_runner.json (northstar-bench/v4; the
+// Report is the schema of BENCH_runner.json (northstar-bench/v5; the
 // schema is documented in EXPERIMENTS.md). Kernel is the unobserved
 // (nil-probe) hot path; KernelProbed repeats the measurement with an
 // obs.KernelProbe attached, pinning the enabled-observability overhead
-// and proving the disabled path stays allocation-free. Shards measures
-// the Monte Carlo shard engine on the suite's slowest replication loop.
-// LongPoles records the long-pole attack (v3 baseline vs this run) —
-// see LongPoleDelta.
+// and proving the disabled path stays allocation-free. Fabric and
+// FabricProbed make the same nil-vs-attached claim for the model-level
+// domain probe on a packet-fabric send chain (`bench -probeguard`
+// holds the gap under 10%). Memory records bytes/node for machine+topology
+// builds at growing scale — the budget ROADMAP item 2 tracks. Shards
+// measures the Monte Carlo shard engine on the suite's slowest
+// replication loop. LongPoles records the long-pole attack (v3
+// baseline vs this run) — see LongPoleDelta.
 type Report struct {
 	Schema       string        `json:"schema"`
 	Generated    string        `json:"generated_by"`
 	Host         HostInfo      `json:"host"`
 	Kernel       KernelRes     `json:"kernel"`
 	KernelProbed KernelRes     `json:"kernel_probed"`
+	Fabric       KernelRes     `json:"fabric"`
+	FabricProbed KernelRes     `json:"fabric_probed"`
+	Memory       MemoryRes     `json:"memory"`
 	Suite        SuiteRes      `json:"suite"`
 	Shards       ShardRes      `json:"shard_scaling"`
 	LongPoles    LongPoleDelta `json:"long_pole_delta"`
 	Seed         *SeedRef      `json:"seed_baseline,omitempty"`
+}
+
+// MemoryRes reports heap cost per simulated node for machine builds at
+// growing scale (the memory ceiling is the enemy of the 10^5-10^6 node
+// goal; this is its budget line).
+type MemoryRes struct {
+	Model  string        `json:"model"`
+	Points []MemoryPoint `json:"points"`
+}
+
+// MemoryPoint is one machine-build measurement: settled heap growth
+// (GC forced before each read) attributable to the build.
+type MemoryPoint struct {
+	Nodes        int     `json:"nodes"`
+	HeapBytes    uint64  `json:"heap_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
 }
 
 // HostInfo identifies the measuring host; wall-clock numbers are only
@@ -188,15 +216,20 @@ func main() {
 	out := flag.String("o", "BENCH_runner.json", `output path ("-" for stdout)`)
 	guard := flag.Bool("guard", false,
 		"regression-guard mode: measure spec_seconds only and fail if any long pole regresses >25% vs the committed baseline or the suite exceeds its budget")
+	probeGuard := flag.Bool("probeguard", false,
+		"probe-overhead guard mode: measure the fabric send chain nil-probe vs domain-probe and fail if the attached probe costs >10% per send")
 	baseline := flag.String("baseline", "BENCH_runner.json", "committed report the guard compares against")
 	flag.Parse()
 
 	if *guard {
 		os.Exit(runGuard(*baseline))
 	}
+	if *probeGuard {
+		os.Exit(runProbeGuard())
+	}
 
 	rep := Report{
-		Schema:    "northstar-bench/v4",
+		Schema:    "northstar-bench/v5",
 		Generated: "go run ./cmd/bench (see scripts/bench.sh)",
 		Host: HostInfo{
 			Go:         runtime.Version(),
@@ -216,6 +249,19 @@ func main() {
 	if got := int(probe.Fired()); got != *events+1 {
 		fatal(fmt.Errorf("probe counted %d fired events, want %d", got, *events+1))
 	}
+
+	fsends := *events / 4
+	fmt.Fprintf(os.Stderr, "bench: fabric send chain (%d sends, nil probe)...\n", fsends)
+	rep.Fabric = benchFabric(fsends, nil)
+	fmt.Fprintf(os.Stderr, "bench: fabric send chain (%d sends, domain probe)...\n", fsends)
+	dp := obs.NewDomainProbe()
+	rep.FabricProbed = benchFabric(fsends, dp)
+	if got := dp.Messages(network.KindPacket); got != uint64(fsends) {
+		fatal(fmt.Errorf("domain probe counted %d messages, want %d", got, fsends))
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: machine memory footprint (bytes/node)...\n")
+	rep.Memory = benchMemory()
 
 	workers := *par
 	if workers <= 0 {
@@ -261,8 +307,9 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event nil probe, %.1f probed, %.2f allocs/event; suite %.2fs -> %.2fs, %.2fx, eff %.2f; shards=1 overhead %+.1f%%)\n",
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event nil probe, %.1f probed, %.2f allocs/event; fabric %.1f -> %.1f ns/send probed; suite %.2fs -> %.2fs, %.2fx, eff %.2f; shards=1 overhead %+.1f%%)\n",
 		*out, rep.Kernel.NsPerEvent, rep.KernelProbed.NsPerEvent, rep.Kernel.AllocsPerEvent,
+		rep.Fabric.NsPerEvent, rep.FabricProbed.NsPerEvent,
 		rep.Suite.SequentialSeconds, rep.Suite.ParallelSeconds, rep.Suite.Speedup,
 		rep.Suite.ParallelEfficiency, rep.Shards.Shards1OverheadPct)
 }
@@ -288,12 +335,11 @@ func benchKernel(events int, probe *obs.KernelProbe) KernelRes {
 	k.After(0, fn)
 
 	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
+	readMem(&before)
 	start := time.Now()
 	k.Run()
 	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
+	readMem(&after)
 
 	return KernelRes{
 		Events:         events,
@@ -301,6 +347,125 @@ func benchKernel(events int, probe *obs.KernelProbe) KernelRes {
 		AllocsPerEvent: round3(float64(after.Mallocs-before.Mallocs) / float64(events)),
 		BytesPerEvent:  round3(float64(after.TotalAlloc-before.TotalAlloc) / float64(events)),
 	}
+}
+
+// readMem forces a collection before reading, so heap numbers are
+// settled state rather than whatever garbage happened to be pending —
+// without it the alloc deltas swing with GC timing.
+func readMem(m *runtime.MemStats) {
+	runtime.GC()
+	runtime.ReadMemStats(m)
+}
+
+// benchFabric drives a packet-level fabric with a self-rechaining send
+// loop (each delivery triggers the next send to a random peer), the
+// fabric analog of benchKernel: a 64-node Myrinet torus carrying 2-5
+// packet messages over multi-hop routes — the per-message work the
+// domain probe's hooks amortize against. A non-nil probe is attached
+// before the run (the fabric_probed measurement / the -probeguard
+// comparison); nil exercises the unobserved hot path. Events counts
+// sends; ns_per_event is host nanoseconds per send.
+func benchFabric(sends int, probe network.Probe) KernelRes {
+	const side = 8 // 8x8 torus, 64 endpoints
+	k := sim.New(1)
+	f := network.NewPacketNet(k, network.Myrinet2000(), topology.Torus2D(side, side))
+	f.SetProbe(probe)
+	const endpoints = side * side
+	mtu := int64(network.Myrinet2000().MTU)
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	var send func()
+	send = func() {
+		if n >= sends {
+			return
+		}
+		n++
+		src := rng.Intn(endpoints)
+		dst := rng.Intn(endpoints - 1)
+		if dst >= src {
+			dst++
+		}
+		f.Send(src, dst, mtu*2+int64(rng.Int63n(mtu*3)), nil, send)
+	}
+	k.After(0, send)
+
+	var before, after runtime.MemStats
+	readMem(&before)
+	start := time.Now()
+	k.Run()
+	elapsed := time.Since(start)
+	readMem(&after)
+
+	return KernelRes{
+		Events:         sends,
+		NsPerEvent:     round3(float64(elapsed.Nanoseconds()) / float64(sends)),
+		AllocsPerEvent: round3(float64(after.Mallocs-before.Mallocs) / float64(sends)),
+		BytesPerEvent:  round3(float64(after.TotalAlloc-before.TotalAlloc) / float64(sends)),
+	}
+}
+
+// benchMemory measures settled heap growth per simulated node for
+// packet-level machine builds at 1e3/1e4/1e5 nodes — conventional 2002
+// nodes on a Myrinet torus, the configuration the scale experiments
+// use. GC runs before each read so the delta is live structure, not
+// construction garbage.
+func benchMemory() MemoryRes {
+	model := node.MustBuild(node.Conventional, tech.Default2002(), 2002)
+	res := MemoryRes{
+		Model: "machine.New: conventional 2002 nodes, packet-level torus3d, myrinet2000",
+	}
+	for _, nodes := range []int{1_000, 10_000, 100_000} {
+		var before, after runtime.MemStats
+		readMem(&before)
+		m, err := machine.New(machine.Config{
+			Nodes:       nodes,
+			Node:        model,
+			Fabric:      network.Myrinet2000(),
+			PacketLevel: true,
+			Topology:    machine.TopoTorus3D,
+			Seed:        1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		readMem(&after)
+		heap := after.HeapAlloc - before.HeapAlloc
+		res.Points = append(res.Points, MemoryPoint{
+			Nodes:        nodes,
+			HeapBytes:    heap,
+			BytesPerNode: round3(float64(heap) / float64(nodes)),
+		})
+		runtime.KeepAlive(m)
+	}
+	return res
+}
+
+// runProbeGuard is the CI probe-overhead guard: best-of-reps fabric
+// send timing with a nil probe against an attached obs.DomainProbe,
+// failing if the attached probe costs more than 10% per send — the
+// same claim the kernel/kernel_probed sections pin for sim.Probe.
+func runProbeGuard() int {
+	const sends, reps = 400_000, 7
+	best := func(mk func() network.Probe) float64 {
+		b := math.Inf(1)
+		for i := 0; i < reps; i++ {
+			if ns := benchFabric(sends, mk()).NsPerEvent; ns < b {
+				b = ns
+			}
+		}
+		return b
+	}
+	nilNs := best(func() network.Probe { return nil })
+	probedNs := best(func() network.Probe { return obs.NewDomainProbe() })
+	pct := (probedNs - nilNs) / nilNs * 100
+	fmt.Fprintf(os.Stderr, "bench: probeguard: fabric send %.1f ns nil probe, %.1f ns domain probe (%+.1f%%)\n",
+		nilNs, probedNs, pct)
+	if pct > 10 {
+		fmt.Fprintf(os.Stderr, "bench: probeguard: attached domain probe exceeds the 10%% overhead budget\n")
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "bench: probeguard: ok (within 10%%)\n")
+	return 0
 }
 
 // benchSuite runs the whole experiment suite once and reports seconds.

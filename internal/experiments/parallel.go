@@ -288,17 +288,18 @@ func runShielded(s Spec, quick bool) (t *Table, err error) {
 
 // SummaryTable builds the suite-summary table from per-spec observations:
 // host wall clock, events fired, peak pending queue depth, same-time
-// fast-path share, retries, and status. Slots of specObs may be nil, and
-// the slice may be shorter than specs (for example when assembled by a
-// caller that stopped observing early): missing slots render as
-// "unobserved" rows instead of panicking. A timed-out spec renders as
-// TIMEOUT with no event counts — its abandoned goroutine may still be
-// writing to the probe, so the counters are not safe to read.
+// fast-path share, bytes allocated, goroutine high-water, retries, and
+// status. Slots of specObs may be nil, and the slice may be shorter than
+// specs (for example when assembled by a caller that stopped observing
+// early): missing slots render as "unobserved" rows instead of
+// panicking. A timed-out spec renders as TIMEOUT with no event counts —
+// its abandoned goroutine may still be writing to the probe, so the
+// counters are not safe to read.
 func SummaryTable(specs []Spec, specObs []*obs.SpecObs) *Table {
 	t := &Table{
 		ID:      "suite",
 		Title:   "observability summary",
-		Columns: []string{"id", "wall", "events", "peak pending", "fastpath %", "retries", "status"},
+		Columns: []string{"id", "wall", "events", "peak pending", "fastpath %", "alloc MB", "goros", "retries", "status"},
 	}
 	for i, s := range specs {
 		var so *obs.SpecObs
@@ -306,13 +307,13 @@ func SummaryTable(specs []Spec, specObs []*obs.SpecObs) *Table {
 			so = specObs[i]
 		}
 		if so == nil {
-			t.AddRow(s.ID, "-", "-", "-", "-", "-", "unobserved")
+			t.AddRow(s.ID, "-", "-", "-", "-", "-", "-", "-", "unobserved")
 			continue
 		}
 		retries := fmt.Sprintf("%d", so.Attempt())
 		if so.Abandoned() {
 			t.AddRow(s.ID, so.Wall().Round(time.Microsecond).String(),
-				"-", "-", "-", retries, "TIMEOUT")
+				"-", "-", "-", "-", "-", retries, "TIMEOUT")
 			continue
 		}
 		p := so.Probe()
@@ -324,9 +325,13 @@ func SummaryTable(specs []Spec, specObs []*obs.SpecObs) *Table {
 		if so.Failed() {
 			status = "FAILED"
 		}
+		res := so.Resources()
 		t.AddRow(s.ID, so.Wall().Round(time.Microsecond).String(),
 			fmt.Sprintf("%d", p.Fired()), fmt.Sprintf("%d", p.PeakPending()),
-			fmt.Sprintf("%.1f", fast), retries, status)
+			fmt.Sprintf("%.1f", fast),
+			fmt.Sprintf("%.1f", float64(res.AllocBytes())/(1<<20)),
+			fmt.Sprintf("%d", res.GoroutineHigh()),
+			retries, status)
 	}
 	return t
 }

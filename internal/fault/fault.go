@@ -86,6 +86,9 @@ func (s System) FirstFailureMeanSharded(p *mc.Pool, runs int, seed int64, shards
 	firsts := make([]float64, runs)
 	mc.Replicate(p, shards, runs, seed, func(r int, rng *rand.Rand) {
 		firsts[r] = first.Sample(rng)
+		if probe := newProbe(); probe != nil {
+			probe.Failure(sim.Time(firsts[r]))
+		}
 	})
 	var sum float64
 	for _, f := range firsts {
@@ -219,6 +222,7 @@ func (c Checkpoint) simulate(p *mc.Pool, runs int, seed int64, shards int) Resul
 	// break-at-first-cap semantics: only runs before the first capped one
 	// enter the statistics.
 	firstCapped := mc.ReplicateCensored(p, shards, runs, seed, func(r int, rng *rand.Rand) bool {
+		probe := newProbe()
 		t := 0.0    // wall clock
 		done := 0.0 // checkpointed useful work
 		runLost := 0.0
@@ -244,6 +248,9 @@ func (c Checkpoint) simulate(p *mc.Pool, runs int, seed int64, shards int) Resul
 				// Segment (and its checkpoint) completes.
 				t += segCost
 				done += seg
+				if probe != nil && !final {
+					probe.Checkpoint(sim.Time(t))
+				}
 				continue
 			}
 			// Failure mid-segment: everything since the last checkpoint
@@ -255,6 +262,10 @@ func (c Checkpoint) simulate(p *mc.Pool, runs int, seed int64, shards int) Resul
 			}
 			runLost += workedBeforeFailure
 			t = nextFail + float64(c.Restart)
+			if probe != nil {
+				probe.Failure(sim.Time(nextFail))
+				probe.Restart(sim.Time(t))
+			}
 			nextFail = t + fail.Sample(rng)
 		}
 		recs[r] = oneRun{wall: t, lost: runLost, failures: runFailures}

@@ -1,0 +1,56 @@
+package fault
+
+import (
+	"sync/atomic"
+
+	"northstar/internal/sim"
+)
+
+// Probe observes the fault models' event stream: failures struck,
+// checkpoints committed, restarts completed, each stamped with the
+// replication's virtual time. Like network.Probe it is nil by default
+// and every hook site is a single nil-check, so unobserved simulations
+// pay one atomic load per replication and nothing per event.
+//
+// Probe methods are called from Monte Carlo pool goroutines; the
+// provider returns a per-goroutine probe (or nil), so implementations
+// need no locking. Probes observe tallies, they never alter a sample or
+// a reduction — attaching one cannot change a simulated result.
+type Probe interface {
+	// Failure is called when a failure strikes, at its virtual time
+	// (for first-failure sampling, the sampled first-order statistic;
+	// for checkpoint runs, the wall clock at which the run fails).
+	Failure(at sim.Time)
+	// Checkpoint is called when a checkpoint is written and committed.
+	Checkpoint(at sim.Time)
+	// Restart is called when a failed run finishes its restart (repair)
+	// and resumes from the last checkpoint.
+	Restart(at sim.Time)
+}
+
+// probeProvider, when set, is consulted once per Monte Carlo
+// replication for the probe observing that replication's goroutine.
+var probeProvider atomic.Pointer[func() Probe]
+
+// SetProbeProvider installs fn as the per-replication probe source; nil
+// removes it. fn must be safe for concurrent calls from pool goroutines
+// and should return nil for goroutines it does not observe. Process-
+// global, like network.SetProbeProvider: one observability layer owns
+// it at a time.
+func SetProbeProvider(fn func() Probe) {
+	if fn == nil {
+		probeProvider.Store(nil)
+		return
+	}
+	probeProvider.Store(&fn)
+}
+
+// newProbe returns the probe the current replication should report to,
+// or nil when unobserved.
+func newProbe() Probe {
+	fn := probeProvider.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)()
+}

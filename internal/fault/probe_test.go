@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"testing"
+
+	"northstar/internal/mc"
+	"northstar/internal/sim"
+	"northstar/internal/stats"
+)
+
+// recFaultProbe records failure-process events. Tests run on an inline
+// pool (mc.NewPool(0)), so a plain struct is safe.
+type recFaultProbe struct {
+	failures, checkpoints, restarts []sim.Time
+}
+
+func (r *recFaultProbe) Failure(at sim.Time)    { r.failures = append(r.failures, at) }
+func (r *recFaultProbe) Checkpoint(at sim.Time) { r.checkpoints = append(r.checkpoints, at) }
+func (r *recFaultProbe) Restart(at sim.Time)    { r.restarts = append(r.restarts, at) }
+
+func TestFirstFailureProbe(t *testing.T) {
+	rec := &recFaultProbe{}
+	SetProbeProvider(func() Probe { return rec })
+	defer SetProbeProvider(nil)
+
+	s := System{Nodes: 100, Lifetime: stats.Exponential{Rate: 1.0 / 3600}}
+	p := mc.NewPool(0)
+	defer p.Close()
+	const runs = 50
+	mean := s.FirstFailureMeanSharded(p, runs, 42, 1)
+
+	if len(rec.failures) != runs {
+		t.Fatalf("recorded %d failures, want one per replication (%d)", len(rec.failures), runs)
+	}
+	var sum float64
+	for _, at := range rec.failures {
+		if at <= 0 {
+			t.Fatalf("failure at %v, want > 0", at)
+		}
+		sum += float64(at)
+	}
+	// The probe sees exactly the samples the estimator averages.
+	if got := sim.Time(sum / runs); !timesNear(got, mean) {
+		t.Errorf("mean of probed failure times = %v, estimator returned %v", got, mean)
+	}
+}
+
+func TestCheckpointProbe(t *testing.T) {
+	rec := &recFaultProbe{}
+	SetProbeProvider(func() Probe { return rec })
+	defer SetProbeProvider(nil)
+
+	c := Checkpoint{
+		Work:     4000 * sim.Second,
+		Interval: 1000 * sim.Second,
+		Overhead: 10 * sim.Second,
+		Restart:  30 * sim.Second,
+		MTBF:     2000 * sim.Second,
+	}
+	p := mc.NewPool(0)
+	defer p.Close()
+	const runs = 40
+	res, err := c.SimulateSharded(p, runs, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rec.failures) == 0 {
+		t.Fatal("no failures recorded despite MTBF < Work")
+	}
+	if len(rec.restarts) != len(rec.failures) {
+		t.Errorf("restarts (%d) != failures (%d): every failure must restart", len(rec.restarts), len(rec.failures))
+	}
+	if len(rec.checkpoints) == 0 {
+		t.Error("no checkpoints recorded despite multiple segments per run")
+	}
+	// The probe's failure count is the simulation's failure tally.
+	if got, want := float64(len(rec.failures))/runs, res.MeanFailures; !floatsNear(got, want) {
+		t.Errorf("probed failures per run = %v, result reports %v", got, want)
+	}
+	// Each restart completes Restart seconds after its failure.
+	for i := range rec.failures {
+		if rec.restarts[i] < rec.failures[i] {
+			t.Fatalf("restart %d at %v before its failure at %v", i, rec.restarts[i], rec.failures[i])
+		}
+	}
+}
+
+func TestProbeProviderRemoved(t *testing.T) {
+	rec := &recFaultProbe{}
+	SetProbeProvider(func() Probe { return rec })
+	SetProbeProvider(nil)
+
+	s := System{Nodes: 10, Lifetime: stats.Exponential{Rate: 1.0 / 3600}}
+	p := mc.NewPool(0)
+	defer p.Close()
+	s.FirstFailureMeanSharded(p, 10, 1, 1)
+	if len(rec.failures) != 0 {
+		t.Fatalf("recorded %d failures after provider removal, want 0", len(rec.failures))
+	}
+}
+
+func timesNear(a, b sim.Time) bool { return floatsNear(float64(a), float64(b)) }
+
+func floatsNear(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	return d <= 1e-9*m+1e-12
+}

@@ -144,6 +144,8 @@ func (m Monitor) SimulateDetection(seed int64) (sim.Time, error) {
 	if m.Saturated() {
 		return sim.Forever, nil
 	}
+	probe := newProbe()
+	tree := m.Fanout > 0
 	k := sim.New(seed)
 	victim := k.Rand().Intn(m.Nodes)
 	deathAt := 3*m.Period + sim.Time(k.Rand().Float64())*m.Period
@@ -161,6 +163,9 @@ func (m Monitor) SimulateDetection(seed int64) (sim.Time, error) {
 				return // node is dead; no more beats
 			}
 			lastBeat[n] = k.Now()
+			if probe != nil {
+				probe.HeartbeatSent(tree)
+			}
 			k.After(m.Period, beat)
 		}
 		// Stagger initial beats across one period.
@@ -184,5 +189,9 @@ func (m Monitor) SimulateDetection(seed int64) (sim.Time, error) {
 	if declaredAt < 0 {
 		return 0, fmt.Errorf("mgmt: failure never detected")
 	}
-	return declaredAt - deathAt + sim.Time(m.Levels()-1)*m.HopDelay, nil
+	latency := declaredAt - deathAt + sim.Time(m.Levels()-1)*m.HopDelay
+	if probe != nil {
+		probe.DetectionMeasured(tree, latency)
+	}
+	return latency, nil
 }

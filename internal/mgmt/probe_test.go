@@ -1,0 +1,90 @@
+package mgmt
+
+import (
+	"testing"
+
+	"northstar/internal/sim"
+)
+
+// recMgmtProbe records monitoring events; SimulateDetection is
+// single-goroutine, so a plain struct is safe.
+type recMgmtProbe struct {
+	flatBeats, treeBeats int
+	detections           []struct {
+		tree    bool
+		latency sim.Time
+	}
+}
+
+func (r *recMgmtProbe) HeartbeatSent(tree bool) {
+	if tree {
+		r.treeBeats++
+	} else {
+		r.flatBeats++
+	}
+}
+
+func (r *recMgmtProbe) DetectionMeasured(tree bool, latency sim.Time) {
+	r.detections = append(r.detections, struct {
+		tree    bool
+		latency sim.Time
+	}{tree, latency})
+}
+
+func TestDetectionProbeFlat(t *testing.T) {
+	rec := &recMgmtProbe{}
+	SetProbeProvider(func() Probe { return rec })
+	defer SetProbeProvider(nil)
+
+	m := Monitor{Nodes: 32}
+	lat, err := m.SimulateDetection(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.flatBeats == 0 {
+		t.Error("no flat heartbeats recorded")
+	}
+	if rec.treeBeats != 0 {
+		t.Errorf("recorded %d tree heartbeats on a flat monitor", rec.treeBeats)
+	}
+	if len(rec.detections) != 1 {
+		t.Fatalf("recorded %d detections, want 1", len(rec.detections))
+	}
+	if d := rec.detections[0]; d.tree || d.latency != lat {
+		t.Errorf("detection = %+v, want flat with latency %v", d, lat)
+	}
+}
+
+func TestDetectionProbeTree(t *testing.T) {
+	rec := &recMgmtProbe{}
+	SetProbeProvider(func() Probe { return rec })
+	defer SetProbeProvider(nil)
+
+	m := Monitor{Nodes: 64, Fanout: 8}
+	lat, err := m.SimulateDetection(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.treeBeats == 0 {
+		t.Error("no tree heartbeats recorded")
+	}
+	if rec.flatBeats != 0 {
+		t.Errorf("recorded %d flat heartbeats on a tree monitor", rec.flatBeats)
+	}
+	if len(rec.detections) != 1 || !rec.detections[0].tree || rec.detections[0].latency != lat {
+		t.Errorf("detections = %+v, want one tree detection with latency %v", rec.detections, lat)
+	}
+}
+
+func TestDetectionProbeUninstalled(t *testing.T) {
+	rec := &recMgmtProbe{}
+	SetProbeProvider(func() Probe { return rec })
+	SetProbeProvider(nil)
+
+	if _, err := (Monitor{Nodes: 16}).SimulateDetection(3); err != nil {
+		t.Fatal(err)
+	}
+	if rec.flatBeats != 0 || len(rec.detections) != 0 {
+		t.Fatalf("probe saw events after provider removal: %+v", rec)
+	}
+}

@@ -20,9 +20,10 @@ import (
 // pays the setup) and wins on large or repeated bulk transfers.
 type Circuit struct {
 	Counters
-	k *sim.Kernel
-	p Preset
-	n int
+	k     *sim.Kernel
+	p     Preset
+	n     int
+	probe Probe
 	// lastDst[src] is the endpoint src's circuit currently targets
 	// (-1 = none).
 	lastDst []int
@@ -46,7 +47,17 @@ func NewCircuit(k *sim.Kernel, p Preset, n int) *Circuit {
 	for i := range c.lastDst {
 		c.lastDst[i] = -1
 	}
+	c.SetProbe(newProbe())
 	return c
+}
+
+// SetProbe attaches p (nil detaches); the fabric registers one lightpath
+// per source endpoint with the probe. Probes observe, never perturb.
+func (c *Circuit) SetProbe(p Probe) {
+	c.probe = p
+	if p != nil {
+		p.FabricBuilt(KindCircuit, c.n)
+	}
 }
 
 // Name implements Fabric.
@@ -86,13 +97,15 @@ func (c *Circuit) Send(src, dst int, bytes int64, onInjected, onDelivered func()
 	}
 	c.count(bytes)
 
-	start := c.k.Now() + c.p.Overhead
+	now := c.k.Now()
+	start := now + c.p.Overhead
 	if c.egressFree[src] > start {
 		start = c.egressFree[src]
 	}
 	if c.ingressFree[dst] > start {
 		start = c.ingressFree[dst]
 	}
+	pathStart := start
 	if c.lastDst[src] != dst {
 		start += c.p.CircuitSetup
 		c.Reconfigs++
@@ -110,5 +123,12 @@ func (c *Circuit) Send(src, dst int, bytes int64, onInjected, onDelivered func()
 	}
 	if onDelivered != nil {
 		c.k.At(end+c.p.Latency+c.p.Overhead, onDelivered)
+	}
+	if c.probe != nil {
+		c.probe.MessageInjected(KindCircuit, bytes, 1)
+		// A reconfiguration holds the lightpath for the MEMS settling
+		// time too, so busy time includes the setup when one was paid.
+		c.probe.LinkBusy(KindCircuit, end-pathStart)
+		c.probe.MessageDelivered(KindCircuit, bytes, end+c.p.Latency+c.p.Overhead-now)
 	}
 }

@@ -37,6 +37,7 @@ type Hierarchical struct {
 	intra        Fabric // one endpoint per rank
 	inter        Fabric // one endpoint per node
 	ranksPerNode int
+	probe        Probe
 }
 
 // NewHierarchical builds the two-level fabric. intra must have
@@ -53,7 +54,20 @@ func NewHierarchical(intra, inter Fabric, ranksPerNode int) (*Hierarchical, erro
 		return nil, fmt.Errorf("network: intra has %d endpoints, want %d nodes x %d ranks",
 			intra.NumEndpoints(), inter.NumEndpoints(), ranksPerNode)
 	}
-	return &Hierarchical{intra: intra, inter: inter, ranksPerNode: ranksPerNode}, nil
+	h := &Hierarchical{intra: intra, inter: inter, ranksPerNode: ranksPerNode}
+	h.SetProbe(newProbe())
+	return h, nil
+}
+
+// SetProbe attaches p (nil detaches). The hierarchical fabric owns no
+// links of its own — the intra and inter fabrics carry their own probes
+// and report their own occupancy and deliveries — so it registers zero
+// links and reports only message routing (injections).
+func (h *Hierarchical) SetProbe(p Probe) {
+	h.probe = p
+	if p != nil {
+		p.FabricBuilt(KindHierarchical, 0)
+	}
 }
 
 // Name implements Fabric.
@@ -86,6 +100,9 @@ func (h *Hierarchical) Send(src, dst int, bytes int64, onInjected, onDelivered f
 		panic(fmt.Sprintf("network: endpoint out of range: %d->%d of %d", src, dst, h.NumEndpoints()))
 	}
 	h.count(bytes)
+	if h.probe != nil {
+		h.probe.MessageInjected(KindHierarchical, bytes, 1)
+	}
 	sn, dn := h.NodeOf(src), h.NodeOf(dst)
 	if sn == dn {
 		h.intra.Send(src, dst, bytes, onInjected, onDelivered)

@@ -24,6 +24,7 @@ type LogGP struct {
 	k           *sim.Kernel
 	p           Preset
 	n           int
+	probe       Probe
 	egressFree  []sim.Time
 	ingressFree []sim.Time
 }
@@ -33,7 +34,19 @@ func NewLogGP(k *sim.Kernel, p Preset, n int) *LogGP {
 	if n <= 0 {
 		panic("network: fabric needs at least one endpoint")
 	}
-	return &LogGP{k: k, p: p, n: n, egressFree: make([]sim.Time, n), ingressFree: make([]sim.Time, n)}
+	f := &LogGP{k: k, p: p, n: n, egressFree: make([]sim.Time, n), ingressFree: make([]sim.Time, n)}
+	f.SetProbe(newProbe())
+	return f
+}
+
+// SetProbe attaches p (nil detaches); the fabric registers its egress
+// NIC count with the probe. Attaching a probe never perturbs delivery
+// times — probes observe the fabric, they do not participate in it.
+func (f *LogGP) SetProbe(p Probe) {
+	f.probe = p
+	if p != nil {
+		p.FabricBuilt(KindLogGP, f.n)
+	}
 }
 
 // Name implements Fabric.
@@ -74,6 +87,11 @@ func (f *LogGP) Send(src, dst int, bytes int64, onInjected, onDelivered func()) 
 	f.ingressFree[dst] = arrive
 	if onDelivered != nil {
 		f.k.At(arrive+f.p.Overhead, onDelivered)
+	}
+	if f.probe != nil {
+		f.probe.MessageInjected(KindLogGP, bytes, 1)
+		f.probe.LinkBusy(KindLogGP, occ)
+		f.probe.MessageDelivered(KindLogGP, bytes, arrive+f.p.Overhead-now)
 	}
 }
 

@@ -25,6 +25,7 @@ type PacketNet struct {
 	linkFree []sim.Time
 	// HopsTraversed counts total packet-hops, for congestion metrics.
 	HopsTraversed int64
+	probe         Probe
 	// BatchBulk enables the steady-state fast path in Send: once a
 	// message's full-MTU packets are link-limited at every hop with
 	// invariant spacing, the remaining ones are applied in O(hops)
@@ -51,7 +52,17 @@ func NewPacketNet(k *sim.Kernel, p Preset, g *topology.Graph) *PacketNet {
 	for i, v := range f.eps {
 		f.vert2ep[v] = i
 	}
+	f.SetProbe(newProbe())
 	return f
+}
+
+// SetProbe attaches p (nil detaches); the fabric registers its directed
+// link count with the probe. Probes observe, never perturb.
+func (f *PacketNet) SetProbe(p Probe) {
+	f.probe = p
+	if p != nil {
+		p.FabricBuilt(KindPacket, 2*f.g.Edges())
+	}
 }
 
 // Name implements Fabric.
@@ -105,9 +116,12 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 		npkts++
 	}
 	// Sender CPU overhead, then packets inject back-to-back.
-	readyAt := f.k.Now() + f.p.Overhead
+	now := f.k.Now()
+	readyAt := now + f.p.Overhead
 
 	var lastInject, lastDeliver sim.Time
+	var busy sim.Time // link-holding time accumulated by this message
+	var fastPkts int64
 	remaining := bytes
 	for pkt := int64(0); pkt < npkts; pkt++ {
 		size := mtu
@@ -123,6 +137,9 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 			tx = f.p.Gap
 		}
 		t := readyAt
+		if f.probe != nil {
+			busy += tx * sim.Time(len(dlinks))
+		}
 		limited := true // this packet departed link-limited at every hop
 		for h, dl := range dlinks {
 			dep := t
@@ -166,6 +183,8 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 					f.linkFree[dl] += shift
 				}
 				f.HopsTraversed += r * int64(len(dlinks))
+				busy += shift * sim.Time(len(dlinks))
+				fastPkts += r
 				lastInject = f.linkFree[dlinks[0]]
 				last := len(dlinks) - 1
 				lastDeliver = f.linkFree[dlinks[last]] + f.p.PerHopDelay + f.p.Latency
@@ -179,5 +198,13 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 	}
 	if onDelivered != nil {
 		f.k.At(lastDeliver+f.p.Overhead, onDelivered)
+	}
+	if f.probe != nil {
+		f.probe.MessageInjected(KindPacket, bytes, npkts)
+		f.probe.LinkBusy(KindPacket, busy)
+		f.probe.MessageDelivered(KindPacket, bytes, lastDeliver+f.p.Overhead-now)
+		if fastPkts > 0 {
+			f.probe.FastPath(KindPacket, fastPkts)
+		}
 	}
 }

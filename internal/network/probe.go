@@ -1,0 +1,106 @@
+package network
+
+import (
+	"sync/atomic"
+
+	"northstar/internal/sim"
+)
+
+// FabricKind discriminates the built-in fabric models in probe events, so
+// one probe can keep per-fabric sections (a LogGP sweep and a wormhole
+// congestion run observed in the same experiment stay separate).
+type FabricKind uint8
+
+// The fabric kinds, in the order their models appear in the package.
+const (
+	KindLogGP FabricKind = iota
+	KindPacket
+	KindCircuit
+	KindWormhole
+	KindHierarchical
+	NumFabricKinds int = iota
+)
+
+// String returns the kind's section name as used in metric snapshots.
+func (k FabricKind) String() string {
+	switch k {
+	case KindLogGP:
+		return "loggp"
+	case KindPacket:
+		return "packet"
+	case KindCircuit:
+		return "circuit"
+	case KindWormhole:
+		return "wormhole"
+	case KindHierarchical:
+		return "hierarchical"
+	}
+	return "unknown"
+}
+
+// Probe observes fabric internals: traffic injected and delivered, link
+// occupancy, and fast-path use. It is the model-level analog of
+// sim.Probe — every fabric holds a nil probe by default and each hook
+// site is guarded by a single nil-check, so an unobserved fabric pays
+// nothing on its hot path (cmd/bench pins the attached-probe overhead in
+// the fabric_probed section, mirroring kernel_probed).
+//
+// All methods are called synchronously from the goroutine driving the
+// fabric's kernel, so implementations need no locking as long as one
+// probe observes fabrics driven from one goroutine at a time. Probe
+// calls must not send messages or schedule events: they observe the
+// fabric, they are not part of the simulation — attaching a probe never
+// changes a single delivery time.
+type Probe interface {
+	// FabricBuilt is called once per fabric construction with the number
+	// of directed links the fabric serializes on (NIC ports for endpoint
+	// models, directed graph links for topology models). Observers use
+	// the link count to turn accumulated busy time into utilization.
+	FabricBuilt(kind FabricKind, links int)
+	// MessageInjected is called once per Send with the message size and
+	// the packet count it was segmented into (1 for unsegmented models).
+	MessageInjected(kind FabricKind, bytes, packets int64)
+	// MessageDelivered is called when a message's end-to-end virtual
+	// latency is known: Send call to last byte at the destination,
+	// including both CPU overheads. Analytic fabrics report it inside
+	// Send; event-driven fabrics report it when the final packet lands.
+	MessageDelivered(kind FabricKind, bytes int64, latency sim.Time)
+	// LinkBusy is called as transmission occupancy accrues on the
+	// fabric's links (virtual seconds of link-holding time; one message
+	// crossing h store-and-forward hops reports h transmission times).
+	LinkBusy(kind FabricKind, busy sim.Time)
+	// FastPath is called when PacketNet.BatchBulk extrapolates packets
+	// in O(hops) instead of simulating them, with the packet count.
+	FastPath(kind FabricKind, packets int64)
+}
+
+// probeProvider, when set, is consulted by every fabric constructor for
+// the probe to attach. The observability layer installs a provider that
+// returns the probe bound to the constructing goroutine (or nil), which
+// is how fabrics built deep inside machine code get observed without a
+// probe parameter threading through every constructor.
+var probeProvider atomic.Pointer[func() Probe]
+
+// SetProbeProvider installs fn as the construction-time probe source;
+// nil removes it. fn must be safe for concurrent calls (fabrics are
+// built from parallel suite workers and Monte Carlo pool goroutines) and
+// should return nil for goroutines it does not observe. Like
+// sim.SetKernelHook, the provider is process-global: one observability
+// layer owns it at a time.
+func SetProbeProvider(fn func() Probe) {
+	if fn == nil {
+		probeProvider.Store(nil)
+		return
+	}
+	probeProvider.Store(&fn)
+}
+
+// newProbe returns the probe a fabric constructed right now should
+// carry: the provider's answer, or nil when unobserved.
+func newProbe() Probe {
+	fn := probeProvider.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)()
+}

@@ -36,6 +36,7 @@ type WormholeNet struct {
 	bufferPackets int
 	eps           []int
 	links         []*wlink
+	probe         Probe
 	// Stalls counts packet-start attempts deferred for want of a credit
 	// — the congestion metric.
 	Stalls int64
@@ -76,7 +77,17 @@ func NewWormholeNet(k *sim.Kernel, p Preset, g *topology.Graph, bufferPackets in
 	for i := range f.links {
 		f.links[i] = &wlink{credits: bufferPackets}
 	}
+	f.SetProbe(newProbe())
 	return f
+}
+
+// SetProbe attaches p (nil detaches); the fabric registers its directed
+// link count with the probe. Probes observe, never perturb.
+func (f *WormholeNet) SetProbe(p Probe) {
+	f.probe = p
+	if p != nil {
+		p.FabricBuilt(KindWormhole, 2*f.g.Edges())
+	}
 }
 
 // Name implements Fabric.
@@ -134,6 +145,10 @@ func (f *WormholeNet) Send(src, dst int, bytes int64, onInjected, onDelivered fu
 	remaining := bytes
 	pending := int(npkts)
 	var lastInjected *wpacket
+	sendAt := f.k.Now()
+	if f.probe != nil {
+		f.probe.MessageInjected(KindWormhole, bytes, npkts)
+	}
 	f.k.After(f.p.Overhead, func() {
 		for i := int64(0); i < npkts; i++ {
 			size := mtu
@@ -148,8 +163,16 @@ func (f *WormholeNet) Send(src, dst int, bytes int64, onInjected, onDelivered fu
 			last := i == npkts-1
 			pkt.done = func() {
 				pending--
-				if pending == 0 && onDelivered != nil {
-					f.k.After(f.p.Overhead, onDelivered)
+				if pending == 0 {
+					// The receiver CPU overhead is still ahead; charge it
+					// analytically so the latency matches what the caller's
+					// onDelivered handler will observe.
+					if f.probe != nil {
+						f.probe.MessageDelivered(KindWormhole, bytes, f.k.Now()+f.p.Overhead-sendAt)
+					}
+					if onDelivered != nil {
+						f.k.After(f.p.Overhead, onDelivered)
+					}
 				}
 			}
 			if last {
@@ -193,6 +216,9 @@ func (f *WormholeNet) tryStart(dl int) {
 	tx := sim.Time(pkt.size) * f.p.ByteTime
 	if tx < f.p.Gap {
 		tx = f.p.Gap
+	}
+	if f.probe != nil {
+		f.probe.LinkBusy(KindWormhole, tx)
 	}
 	f.k.After(tx, func() {
 		// The wire is free for the next packet.

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"northstar/internal/fault"
+	"northstar/internal/mc"
+	"northstar/internal/mgmt"
+	"northstar/internal/network"
+	"northstar/internal/sim"
+	"northstar/internal/stats"
+)
+
+func TestLatencyHistBucketing(t *testing.T) {
+	var h latencyHist
+	h.add(1e-9)          // bottom of the range: bucket 0 spans [2^-30 s, 2^-29 s)
+	h.add(1.0)           // exponent 0 -> bucket 30
+	h.add(3600)          // an hour, near the top
+	h.add(0)             // clamps to bucket 0
+	h.add(-5)            // clamps to bucket 0
+	h.add(math.NaN())    // clamps to bucket 0
+	h.add(math.Pow(2, 40)) // beyond the range: clamps to the last bucket
+
+	if h.n != 7 {
+		t.Fatalf("n = %d, want 7", h.n)
+	}
+	if h.counts[0] != 4 {
+		t.Errorf("bucket 0 = %d, want 4 (1 ns plus the three clamped non-positive values)", h.counts[0])
+	}
+	if h.counts[30] != 1 {
+		t.Errorf("bucket 30 (=[1,2) s) = %d, want 1", h.counts[30])
+	}
+	if h.counts[latBuckets-1] != 1 {
+		t.Errorf("last bucket = %d, want 1 (the out-of-range clamp)", h.counts[latBuckets-1])
+	}
+
+	// Rendering keeps the mass and places it in matching buckets.
+	sh := h.histogram()
+	if sh.Count() != 7 {
+		t.Errorf("rendered histogram count = %d, want 7", sh.Count())
+	}
+	if sh.Underflow() != 0 || sh.Overflow() != 0 {
+		t.Errorf("rendered histogram spilled: under=%d over=%d, want 0/0 (buckets align one-to-one)",
+			sh.Underflow(), sh.Overflow())
+	}
+	// The single 1-second observation lands at its bucket's geometric
+	// midpoint: the median of a one-second-only histogram is ~sqrt(2).
+	var h2 latencyHist
+	h2.add(1.0)
+	if got := h2.histogram().Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("one-second histogram median = %g, want within [1, 2)", got)
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b latencyHist
+	a.add(1.0)
+	a.add(2.5)
+	b.add(1e-6)
+	b.add(2.5)
+	a.merge(&b)
+	if a.n != 4 {
+		t.Fatalf("merged n = %d, want 4", a.n)
+	}
+	var total uint64
+	for _, c := range a.counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("merged bucket mass = %d, want 4", total)
+	}
+}
+
+func TestDomainProbeTimelineCap(t *testing.T) {
+	p := NewDomainProbe()
+	for i := 0; i < timelineCap+50; i++ {
+		p.Failure(sim.Time(i) * sim.Second)
+	}
+	if got := len(p.Timeline()); got != timelineCap {
+		t.Errorf("timeline length = %d, want cap %d", got, timelineCap)
+	}
+	if got := p.TimelineDropped(); got != 50 {
+		t.Errorf("dropped = %d, want 50", got)
+	}
+	if got := p.Failures(); got != timelineCap+50 {
+		t.Errorf("failure counter = %d, want %d (dropped events still count)", got, timelineCap+50)
+	}
+}
+
+func TestDomainProbeMerge(t *testing.T) {
+	a, b := NewDomainProbe(), NewDomainProbe()
+	a.FabricBuilt(network.KindPacket, 8)
+	a.MessageInjected(network.KindPacket, 1000, 2)
+	a.Failure(1 * sim.Second)
+	a.HeartbeatSent(false)
+	b.MessageInjected(network.KindPacket, 500, 1)
+	b.MessageDelivered(network.KindPacket, 500, 2*sim.Millisecond)
+	b.Checkpoint(2 * sim.Second)
+	b.HeartbeatSent(true)
+	b.HeartbeatSent(false)
+
+	a.Merge(b)
+	if got := a.Messages(network.KindPacket); got != 2 {
+		t.Errorf("merged messages = %d, want 2", got)
+	}
+	if a.Failures() != 1 || a.Checkpoints() != 1 {
+		t.Errorf("merged fault counters = %d/%d, want 1/1", a.Failures(), a.Checkpoints())
+	}
+	if a.Heartbeats(false) != 2 || a.Heartbeats(true) != 1 {
+		t.Errorf("merged heartbeats flat=%d tree=%d, want 2/1", a.Heartbeats(false), a.Heartbeats(true))
+	}
+	if got := len(a.Timeline()); got != 2 {
+		t.Errorf("merged timeline has %d events, want 2", got)
+	}
+}
+
+func TestDomainProbeEmpty(t *testing.T) {
+	p := NewDomainProbe()
+	if !p.Empty() {
+		t.Fatal("fresh probe must be Empty")
+	}
+	p.HeartbeatSent(true)
+	if p.Empty() {
+		t.Fatal("probe with a heartbeat must not be Empty")
+	}
+	if NewDomainProbe().Empty() == false {
+		t.Fatal("unrelated probe affected")
+	}
+}
+
+// findDomain returns the named domain section of a scope snapshot.
+func findDomain(t *testing.T, ss ScopeSnapshot, name string) ScopeSnapshot {
+	t.Helper()
+	for _, d := range ss.Domains {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("scope %q has no domain %q (domains: %v)", ss.Name, name, domainNames(ss))
+	return ScopeSnapshot{}
+}
+
+func domainNames(ss ScopeSnapshot) []string {
+	names := make([]string, 0, len(ss.Domains))
+	for _, d := range ss.Domains {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+func TestDomainProbePublishTo(t *testing.T) {
+	p := NewDomainProbe()
+	p.FabricBuilt(network.KindPacket, 4)
+	p.MessageInjected(network.KindPacket, 3000, 3)
+	p.MessageDelivered(network.KindPacket, 3000, 500*sim.Millisecond)
+	p.LinkBusy(network.KindPacket, 2*sim.Second)
+	p.FastPath(network.KindPacket, 2)
+	p.Failure(5 * sim.Second)
+	p.Checkpoint(6 * sim.Second)
+	p.Restart(7 * sim.Second)
+	p.HeartbeatSent(false)
+	p.DetectionMeasured(true, 30*sim.Second)
+
+	reg := NewRegistry()
+	scope := reg.Scope("EX")
+	p.PublishTo(scope, 10.0)
+	ss := reg.Snapshot().Scopes[0]
+
+	pk := findDomain(t, findDomain(t, ss, "network"), "packet")
+	if pk.Counters["messages_injected"] != 1 || pk.Counters["packets_injected"] != 3 ||
+		pk.Counters["bytes_injected"] != 3000 || pk.Counters["fastpath_packets"] != 2 {
+		t.Errorf("packet counters wrong: %v", pk.Counters)
+	}
+	// utilization = busy / (links x virtual) = 2 / (4 x 10).
+	if got := pk.Gauges["utilization"]; math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.05", got)
+	}
+	lh, ok := pk.Histograms["message_latency_seconds"]
+	if !ok || lh.Count != 1 {
+		t.Fatalf("message latency histogram missing or wrong: %+v", pk.Histograms)
+	}
+	if lh.P50 <= 0 {
+		t.Errorf("latency p50 = %g, want > 0", lh.P50)
+	}
+
+	fd := findDomain(t, ss, "fault")
+	if fd.Counters["failures"] != 1 || fd.Counters["checkpoints"] != 1 || fd.Counters["restarts"] != 1 {
+		t.Errorf("fault counters wrong: %v", fd.Counters)
+	}
+
+	md := findDomain(t, ss, "mgmt")
+	if flat := findDomain(t, md, "flat"); flat.Counters["heartbeats_sent"] != 1 {
+		t.Errorf("flat heartbeats = %v", flat.Counters)
+	}
+	if tree := findDomain(t, md, "tree"); tree.Histograms["detection_latency_seconds"].Count != 1 {
+		t.Errorf("tree detection histogram = %+v", tree.Histograms)
+	}
+}
+
+// TestObserverDomainPlumbing drives the full provider path: a suite
+// observer binds a spec, the spec builds model objects through their
+// public constructors, and the registry ends up with the domain
+// sections — without the spec ever naming a probe.
+func TestObserverDomainPlumbing(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace()
+	o := NewSuiteObserver(reg, tr, nil)
+	o.Begin(1, 1)
+	so := o.StartSpec("EX", "domain plumbing", 0)
+
+	// Network: a fabric built through the constructor gets the probe.
+	k := sim.New(1)
+	f := network.NewLogGP(k, network.Myrinet2000(), 2)
+	f.Send(0, 1, 4096, nil, nil)
+	k.Run()
+
+	// Fault: a first-failure estimate on an inline pool.
+	pool := mc.NewPool(0)
+	sys := fault.System{Nodes: 16, Lifetime: stats.Exponential{Rate: 1.0 / 3600}}
+	sys.FirstFailureMeanSharded(pool, 5, 11, 1)
+	pool.Close()
+
+	// Mgmt: one detection simulation.
+	if _, err := (mgmt.Monitor{Nodes: 8}).SimulateDetection(3); err != nil {
+		t.Fatal(err)
+	}
+
+	if so.Domain().Messages(network.KindLogGP) != 1 {
+		t.Fatalf("domain probe saw %d loggp messages, want 1", so.Domain().Messages(network.KindLogGP))
+	}
+	so.Done(nil)
+	o.End()
+
+	var ex ScopeSnapshot
+	for _, sc := range reg.Snapshot().Scopes {
+		if sc.Name == "EX" {
+			ex = sc
+		}
+	}
+	if ex.Name != "EX" {
+		t.Fatal("scope EX missing from registry")
+	}
+	lg := findDomain(t, findDomain(t, ex, "network"), "loggp")
+	if lg.Counters["messages_delivered"] != 1 || lg.Counters["bytes_delivered"] != 4096 {
+		t.Errorf("loggp delivery counters wrong: %v", lg.Counters)
+	}
+	if fd := findDomain(t, ex, "fault"); fd.Counters["failures"] != 5 {
+		t.Errorf("fault failures = %v, want 5 (one per replication)", fd.Counters)
+	}
+	if hb := findDomain(t, findDomain(t, ex, "mgmt"), "flat").Counters["heartbeats_sent"]; hb == 0 {
+		t.Error("no heartbeats recorded through the provider")
+	}
+	findDomain(t, ex, "resources")
+
+	// The fault timeline must have landed on the virtual-time trace
+	// process as instants.
+	foundVirtual := false
+	for _, ev := range traceEventsOf(t, tr) {
+		if ev.PID == virtualPID && ev.Phase == "i" {
+			foundVirtual = true
+		}
+	}
+	if !foundVirtual {
+		t.Error("no virtual-time instants in trace despite fault events")
+	}
+
+	// After End, providers are removed: new model objects see no probe.
+	before := so.Domain().Messages(network.KindLogGP)
+	k2 := sim.New(1)
+	f2 := network.NewLogGP(k2, network.Myrinet2000(), 2)
+	f2.Send(0, 1, 64, nil, nil)
+	k2.Run()
+	if got := so.Domain().Messages(network.KindLogGP); got != before {
+		t.Errorf("probe saw traffic after End: %d -> %d", before, got)
+	}
+}
+
+// TestObserverAnalyticSpecHasNoDomainSections pins the Empty() gate: a
+// spec that touches no model package gets resources but no
+// network/fault/mgmt sections.
+func TestObserverAnalyticSpecHasNoDomainSections(t *testing.T) {
+	reg := NewRegistry()
+	o := NewSuiteObserver(reg, nil, nil)
+	o.Begin(1, 1)
+	so := o.StartSpec("AN", "analytic", 0)
+	so.Done(nil)
+	o.End()
+
+	var an ScopeSnapshot
+	for _, sc := range reg.Snapshot().Scopes {
+		if sc.Name == "AN" {
+			an = sc
+		}
+	}
+	for _, d := range an.Domains {
+		if d.Name != "resources" {
+			t.Errorf("analytic spec grew a %q domain section", d.Name)
+		}
+	}
+}
+
+func traceEventsOf(t *testing.T, tr *Trace) []TraceEvent {
+	t.Helper()
+	return decodeTrace(t, tr).TraceEvents
+}

@@ -34,15 +34,19 @@ func (r *Registry) Scope(name string) *Scope {
 	defer r.mu.Unlock()
 	s, ok := r.scopes[name]
 	if !ok {
-		s = &Scope{
-			name:     name,
-			counters: make(map[string]int64),
-			gauges:   make(map[string]float64),
-			hists:    make(map[string]*stats.Histogram),
-		}
+		s = newScope(name)
 		r.scopes[name] = s
 	}
 	return s
+}
+
+func newScope(name string) *Scope {
+	return &Scope{
+		name:     name,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*stats.Histogram),
+	}
 }
 
 // Scope is one named group of metrics. Methods are safe for concurrent
@@ -53,6 +57,7 @@ type Scope struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	hists    map[string]*stats.Histogram
+	subs     map[string]*Scope
 }
 
 // Name returns the scope's name.
@@ -105,6 +110,24 @@ func (s *Scope) PutHistogram(name string, h *stats.Histogram) {
 	s.mu.Unlock()
 }
 
+// Domain returns the named sub-scope, creating it on first use. Domains
+// nest ("network" -> "packet"), giving snapshots per-domain sections:
+// an experiment scope's harness metrics stay top-level while its model
+// telemetry lands under network/fault/mgmt/resources.
+func (s *Scope) Domain(name string) *Scope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.subs == nil {
+		s.subs = make(map[string]*Scope)
+	}
+	sub, ok := s.subs[name]
+	if !ok {
+		sub = newScope(name)
+		s.subs[name] = sub
+	}
+	return sub
+}
+
 // ---- snapshots ----
 
 // Snapshot is a stable, encodable view of a registry. Scopes are sorted
@@ -115,20 +138,26 @@ type Snapshot struct {
 	Scopes []ScopeSnapshot `json:"scopes"`
 }
 
-// ScopeSnapshot is the stable view of one scope.
+// ScopeSnapshot is the stable view of one scope. Domains (added in v2)
+// hold nested per-domain sections, sorted by name.
 type ScopeSnapshot struct {
 	Name       string                       `json:"name"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Domains    []ScopeSnapshot              `json:"domains,omitempty"`
 }
 
 // HistogramSnapshot is the stable view of one histogram; only non-empty
-// buckets are listed.
+// buckets are listed. P50/P95/P99 (added in v2) are bucket-interpolated
+// quantile estimates, omitted for empty histograms.
 type HistogramSnapshot struct {
 	Count     int              `json:"count"`
 	Underflow int              `json:"underflow,omitempty"`
 	Overflow  int              `json:"overflow,omitempty"`
+	P50       float64          `json:"p50,omitempty"`
+	P95       float64          `json:"p95,omitempty"`
+	P99       float64          `json:"p99,omitempty"`
 	Buckets   []BucketSnapshot `json:"buckets"`
 }
 
@@ -140,8 +169,9 @@ type BucketSnapshot struct {
 }
 
 // SnapshotSchema identifies the metrics snapshot encoding; bump on
-// incompatible change.
-const SnapshotSchema = "northstar-metrics/v1"
+// incompatible change. v2 added nested domain sections and histogram
+// quantiles.
+const SnapshotSchema = "northstar-metrics/v2"
 
 // Snapshot captures the registry's current state.
 func (r *Registry) Snapshot() Snapshot {
@@ -166,7 +196,6 @@ func (r *Registry) Snapshot() Snapshot {
 
 func (s *Scope) snapshot() ScopeSnapshot {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	ss := ScopeSnapshot{Name: s.name}
 	if len(s.counters) > 0 {
 		ss.Counters = make(map[string]int64, len(s.counters))
@@ -186,6 +215,16 @@ func (s *Scope) snapshot() ScopeSnapshot {
 			ss.Histograms[k] = snapshotHistogram(h)
 		}
 	}
+	subs := make([]*Scope, 0, len(s.subs))
+	for _, k := range sortedKeys(s.subs) {
+		subs = append(subs, s.subs[k])
+	}
+	// Recurse outside s.mu: sub-scopes have their own locks, and a
+	// sub-scope never reaches back up to its parent.
+	s.mu.Unlock()
+	for _, sub := range subs {
+		ss.Domains = append(ss.Domains, sub.snapshot())
+	}
 	return ss
 }
 
@@ -195,6 +234,13 @@ func snapshotHistogram(h *stats.Histogram) HistogramSnapshot {
 		Underflow: h.Underflow(),
 		Overflow:  h.Overflow(),
 		Buckets:   []BucketSnapshot{},
+	}
+	if h.Count() > 0 {
+		// Quantiles are bucket-interpolated estimates; an empty
+		// histogram has none (and NaN cannot encode as JSON).
+		hs.P50 = h.Quantile(0.50)
+		hs.P95 = h.Quantile(0.95)
+		hs.P99 = h.Quantile(0.99)
 	}
 	for i := 0; i < h.Buckets(); i++ {
 		if n := h.Bucket(i); n > 0 {
@@ -218,24 +264,37 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText writes the snapshot as aligned "scope.metric value" lines in
-// sorted order, for eyeballing.
+// sorted order, for eyeballing. Domain sections print as dotted paths
+// ("E7.network.packet.bytes_injected").
 func (r *Registry) WriteText(w io.Writer) error {
 	for _, sc := range r.Snapshot().Scopes {
-		for _, k := range sortedKeys(sc.Counters) {
-			if _, err := fmt.Fprintf(w, "%s.%s %d\n", sc.Name, k, sc.Counters[k]); err != nil {
-				return err
-			}
+		if err := writeScopeText(w, sc.Name, sc); err != nil {
+			return err
 		}
-		for _, k := range sortedKeys(sc.Gauges) {
-			if _, err := fmt.Fprintf(w, "%s.%s %g\n", sc.Name, k, sc.Gauges[k]); err != nil {
-				return err
-			}
+	}
+	return nil
+}
+
+func writeScopeText(w io.Writer, path string, sc ScopeSnapshot) error {
+	for _, k := range sortedKeys(sc.Counters) {
+		if _, err := fmt.Fprintf(w, "%s.%s %d\n", path, k, sc.Counters[k]); err != nil {
+			return err
 		}
-		for _, k := range sortedKeys(sc.Histograms) {
-			h := sc.Histograms[k]
-			if _, err := fmt.Fprintf(w, "%s.%s count=%d buckets=%d\n", sc.Name, k, h.Count, len(h.Buckets)); err != nil {
-				return err
-			}
+	}
+	for _, k := range sortedKeys(sc.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s.%s %g\n", path, k, sc.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(sc.Histograms) {
+		h := sc.Histograms[k]
+		if _, err := fmt.Fprintf(w, "%s.%s count=%d buckets=%d\n", path, k, h.Count, len(h.Buckets)); err != nil {
+			return err
+		}
+	}
+	for _, sub := range sc.Domains {
+		if err := writeScopeText(w, path+"."+sub.Name, sub); err != nil {
+			return err
 		}
 	}
 	return nil

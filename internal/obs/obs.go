@@ -29,7 +29,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"northstar/internal/fault"
 	"northstar/internal/mc"
+	"northstar/internal/mgmt"
+	"northstar/internal/network"
 	"northstar/internal/sim"
 )
 
@@ -54,7 +57,15 @@ type SuiteObserver struct {
 	totalRetries  int64
 	totalTimeouts int64
 
-	binding sync.Map // goroutine id (uint64) -> *KernelProbe
+	binding sync.Map // goroutine id (uint64) -> *probeSet
+}
+
+// probeSet is one goroutine's bound probes: the kernel probe observing
+// the harness and the domain probe observing the simulated cluster.
+// They fork and merge together across pool goroutines.
+type probeSet struct {
+	kernel *KernelProbe
+	domain *DomainProbe
 }
 
 // NewSuiteObserver returns an observer writing metrics into registry
@@ -94,12 +105,45 @@ func (o *SuiteObserver) Begin(total, workers int) {
 		panic("obs: SuiteObserver.Begin: a sim kernel hook is already installed; only one observed suite may run at a time")
 	}
 	mc.SetPropagator(o.forkProbe)
+	// The domain providers hand each model package the domain probe
+	// bound to the goroutine asking — nil for unobserved goroutines, so
+	// model hot paths stay on their nil-check fast path.
+	network.SetProbeProvider(func() network.Probe {
+		if d := o.boundDomain(); d != nil {
+			return d
+		}
+		return nil
+	})
+	fault.SetProbeProvider(func() fault.Probe {
+		if d := o.boundDomain(); d != nil {
+			return d
+		}
+		return nil
+	})
+	mgmt.SetProbeProvider(func() mgmt.Probe {
+		if d := o.boundDomain(); d != nil {
+			return d
+		}
+		return nil
+	})
+}
+
+// boundDomain returns the domain probe bound to the calling goroutine,
+// or nil.
+func (o *SuiteObserver) boundDomain() *DomainProbe {
+	if ps, ok := o.binding.Load(goid()); ok {
+		return ps.(*probeSet).domain
+	}
+	return nil
 }
 
 // End removes the kernel hook and writes suite totals into the "suite"
 // scope (specs/events/failures/retries/timeouts counters, host_seconds
 // gauge).
 func (o *SuiteObserver) End() {
+	network.SetProbeProvider(nil)
+	fault.SetProbeProvider(nil)
+	mgmt.SetProbeProvider(nil)
 	mc.SetPropagator(nil)
 	sim.SetKernelHook(nil)
 	o.mu.Lock()
@@ -119,8 +163,8 @@ func (o *SuiteObserver) End() {
 // attach is the sim kernel hook: it gives each new kernel the probe bound
 // to the constructing goroutine, if any.
 func (o *SuiteObserver) attach(k *sim.Kernel) {
-	if p, ok := o.binding.Load(goid()); ok {
-		k.SetProbe(p.(*KernelProbe))
+	if ps, ok := o.binding.Load(goid()); ok {
+		k.SetProbe(ps.(*probeSet).kernel)
 	}
 }
 
@@ -141,10 +185,10 @@ func (o *SuiteObserver) forkProbe() func(task func()) {
 	if !ok {
 		return nil // unobserved caller: nothing to attribute
 	}
-	parent := parentAny.(*KernelProbe)
+	parent := parentAny.(*probeSet)
 	var mu sync.Mutex
 	return func(task func()) {
-		child := NewKernelProbe()
+		child := &probeSet{kernel: NewKernelProbe(), domain: NewDomainProbe()}
 		id := goid()
 		prev, hadPrev := o.binding.Load(id)
 		o.binding.Store(id, child)
@@ -155,7 +199,8 @@ func (o *SuiteObserver) forkProbe() func(task func()) {
 				o.binding.Delete(id)
 			}
 			mu.Lock()
-			parent.Merge(child)
+			parent.kernel.Merge(child.kernel)
+			parent.domain.Merge(child.domain)
 			mu.Unlock()
 		}()
 		task()
@@ -184,8 +229,10 @@ func (o *SuiteObserver) StartAttempt(id, title string, worker, attempt int) *Spe
 		attempt: attempt,
 		start:   time.Now(),
 		probe:   NewKernelProbe(),
+		domain:  NewDomainProbe(),
+		res:     StartResourceScope(),
 	}
-	o.binding.Store(goid(), so.probe)
+	o.binding.Store(goid(), &probeSet{kernel: so.probe, domain: so.domain})
 	return so
 }
 
@@ -204,6 +251,8 @@ type SpecObs struct {
 	failed    bool
 	abandoned bool
 	probe     *KernelProbe
+	domain    *DomainProbe
+	res       *ResourceScope
 }
 
 // Done finishes the observation: it unbinds the probe from the goroutine,
@@ -220,9 +269,14 @@ func (so *SpecObs) Done(err error) {
 	}
 	so.wall = time.Since(so.start)
 	so.failed = err != nil
+	so.res.Stop()
 
 	scope := o.registry.Scope(so.id)
 	so.probe.PublishTo(scope)
+	if !so.domain.Empty() {
+		so.domain.PublishTo(scope, so.probe.LastVirtualTime().Seconds())
+	}
+	so.res.PublishTo(scope)
 	scope.Set("host_seconds", so.wall.Seconds())
 	if so.failed {
 		scope.Add("failures", 1)
@@ -241,6 +295,14 @@ func (so *SpecObs) Done(err error) {
 			"failed":          so.failed,
 			"attempt":         so.attempt,
 		})
+		if tl := so.domain.Timeline(); len(tl) > 0 {
+			// The fault timeline lands on the virtual-time process, one
+			// track per spec, timestamps in simulated seconds.
+			o.trace.NameVirtualTrack(so.worker, so.id+" fault timeline")
+			for _, ev := range tl {
+				o.trace.VirtualInstant(so.id+" "+ev.Kind, so.worker, ev.At.Seconds(), nil)
+			}
+		}
 	}
 
 	// The progress line prints under o.mu: the writer need not be
@@ -366,3 +428,10 @@ func (so *SpecObs) Abandoned() bool { return so.abandoned }
 // Probe returns the spec's kernel probe with its accumulated counters.
 // Do not read it for an Abandoned observation.
 func (so *SpecObs) Probe() *KernelProbe { return so.probe }
+
+// Domain returns the spec's domain probe with its accumulated model
+// telemetry. Do not read it for an Abandoned observation.
+func (so *SpecObs) Domain() *DomainProbe { return so.domain }
+
+// Resources returns the spec's resource samples (valid after Done).
+func (so *SpecObs) Resources() *ResourceScope { return so.res }

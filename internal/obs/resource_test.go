@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+var resourceSink []byte
+
+func TestResourceScopeAllocDelta(t *testing.T) {
+	const chunk = 8 << 20
+	rs := StartResourceScope()
+	resourceSink = make([]byte, chunk)
+	rs.Stop()
+	runtime.KeepAlive(resourceSink)
+	resourceSink = nil
+
+	if got := rs.AllocBytes(); got < chunk {
+		t.Errorf("AllocBytes = %d, want >= %d (TotalAlloc is monotonic)", got, chunk)
+	}
+	if rs.HeapHighBytes() == 0 {
+		t.Error("HeapHighBytes = 0, want > 0")
+	}
+	if rs.GoroutineHigh() < 1 {
+		t.Errorf("GoroutineHigh = %d, want >= 1", rs.GoroutineHigh())
+	}
+}
+
+func TestResourceScopeStopIdempotent(t *testing.T) {
+	rs := StartResourceScope()
+	rs.Stop()
+	first := rs.AllocBytes()
+	resourceSink = make([]byte, 1<<20)
+	rs.Stop() // must keep the first stop's numbers
+	runtime.KeepAlive(resourceSink)
+	resourceSink = nil
+	if got := rs.AllocBytes(); got != first {
+		t.Errorf("second Stop changed AllocBytes: %d -> %d", first, got)
+	}
+}
+
+func TestResourceScopeGoroutineHighWater(t *testing.T) {
+	rs := StartResourceScope()
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() { <-stop }()
+	}
+	rs.Stop()
+	close(stop)
+	if got := rs.GoroutineHigh(); got < rs.startGoros+8 {
+		t.Errorf("GoroutineHigh = %d, want >= start (%d) + 8", got, rs.startGoros)
+	}
+}
+
+func TestResourceScopePublishTo(t *testing.T) {
+	rs := StartResourceScope()
+	resourceSink = make([]byte, 1<<20)
+	rs.Stop()
+	runtime.KeepAlive(resourceSink)
+	resourceSink = nil
+
+	reg := NewRegistry()
+	scope := reg.Scope("R")
+	rs.PublishTo(scope)
+	ss := reg.Snapshot().Scopes[0]
+	res := findDomain(t, ss, "resources")
+	if res.Counters["alloc_bytes"] <= 0 {
+		t.Errorf("alloc_bytes = %d, want > 0", res.Counters["alloc_bytes"])
+	}
+	if res.Gauges["heap_high_bytes"] <= 0 || res.Gauges["goroutines_high"] < 1 {
+		t.Errorf("resource gauges wrong: %v", res.Gauges)
+	}
+}

@@ -103,6 +103,44 @@ func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
 	return h.lo + float64(i)*h.linWidth, h.lo + float64(i+1)*h.linWidth
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the recorded
+// observations from the bucket counts: mass is assumed uniform within a
+// bucket (uniform in log-space for log buckets), underflow mass sits at
+// the lower bound and overflow at the upper. Empty histograms return
+// NaN; q outside [0, 1] panics.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile out of range: %g", q))
+	}
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if h.under > 0 && target <= cum {
+		return h.lo
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			lo, hi := h.BucketBounds(i)
+			if h.log {
+				return lo * math.Pow(hi/lo, frac)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return h.hi
+}
+
 // String renders an ASCII bar chart, one line per bucket.
 func (h *Histogram) String() string {
 	var b strings.Builder
