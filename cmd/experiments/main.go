@@ -8,6 +8,7 @@
 //	experiments -par 4            # bounded worker pool
 //	experiments -quick            # CI-scale sweeps
 //	experiments -id E7            # one experiment
+//	experiments -describe E7      # dump E7's ScenarioSpec as JSON and exit
 //	experiments -csv out/         # also write one CSV per table into out/
 //	experiments -progress         # live per-spec status lines on stderr
 //	experiments -trace t.json     # Chrome trace_event JSON (Perfetto)
@@ -29,6 +30,13 @@
 // example a broken pipe) is likewise fatal rather than silently
 // truncating tables.
 //
+// -describe prints the declarative ScenarioSpec of a migrated experiment
+// as indented JSON — the wire format a scenario service accepts — and
+// exits without running anything. The JSON round-trips: parsing it back
+// and calling Run reproduces the experiment's table byte for byte (CI
+// proves this for every migrated ID). Experiments not yet migrated to
+// specs report an error.
+//
 // -faultinject appends the synthetic misbehaving specs from
 // experiments.FaultSpecs after the genuine suite so CI can prove the
 // isolation guarantees above: the run must exit 1 while stdout stays
@@ -37,6 +45,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "shrink sweeps for fast runs")
 	id := fs.String("id", "", "run only this experiment (e.g. E7)")
+	describe := fs.String("describe", "", "print this experiment's ScenarioSpec as JSON and exit")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	par := fs.Int("par", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
@@ -97,6 +107,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if parSet && *par < 1 {
 		fmt.Fprintf(stderr, "experiments: -par %d: worker count must be at least 1\n", *par)
 		return 2
+	}
+
+	if *describe != "" {
+		sc, err := experiments.ScenarioByID(*describe)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		enc, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if _, err := fmt.Fprintf(stdout, "%s\n", enc); err != nil {
+			return fail(stderr, err)
+		}
+		return 0
 	}
 
 	if *csvDir != "" {

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"northstar/internal/experiments"
 )
 
 // These tests exercise the command through run() exactly as a shell
@@ -98,6 +101,69 @@ func TestFaultInjectExits1WithIdenticalStdout(t *testing.T) {
 	for _, id := range []string{"FI-ERR", "FI-PANIC", "FI-HANG"} {
 		if !strings.Contains(stderr, id) {
 			t.Errorf("stderr does not report %s:\n%s", id, stderr)
+		}
+	}
+}
+
+// TestDescribeEmitsValidJSON pins -describe's contract for every
+// migrated experiment: exit 0, parseable JSON on stdout, nothing run.
+func TestDescribeEmitsValidJSON(t *testing.T) {
+	for _, sc := range experiments.Scenarios() {
+		status, stdout, stderr := runCmd(t, "-describe", sc.ID)
+		if status != 0 {
+			t.Fatalf("-describe %s: exit %d, stderr:\n%s", sc.ID, status, stderr)
+		}
+		var parsed experiments.ScenarioSpec
+		if err := json.Unmarshal([]byte(stdout), &parsed); err != nil {
+			t.Fatalf("-describe %s output is not JSON: %v\n%s", sc.ID, err, stdout)
+		}
+		if parsed.ID != sc.ID || parsed.Model != sc.Model {
+			t.Errorf("-describe %s returned spec for %q/%q", sc.ID, parsed.ID, parsed.Model)
+		}
+	}
+}
+
+// TestDescribeUnknownExits1 covers both a non-experiment and a bespoke
+// experiment with no spec: neither has a wire form yet.
+func TestDescribeUnknownExits1(t *testing.T) {
+	for _, id := range []string{"NOPE", "E8"} {
+		status, stdout, stderr := runCmd(t, "-describe", id)
+		if status != 1 {
+			t.Errorf("-describe %s: exit %d, want 1", id, status)
+		}
+		if stdout != "" {
+			t.Errorf("-describe %s printed output:\n%s", id, stdout)
+		}
+		if !strings.Contains(stderr, id) {
+			t.Errorf("-describe %s: stderr does not name it:\n%s", id, stderr)
+		}
+	}
+}
+
+// TestDescribeRoundTripMatchesGolden is the wire-format proof: the JSON
+// a client reads back from -describe, parsed and run in quick mode,
+// must reproduce the committed golden table byte for byte.
+func TestDescribeRoundTripMatchesGolden(t *testing.T) {
+	for _, sc := range experiments.Scenarios() {
+		status, stdout, stderr := runCmd(t, "-describe", sc.ID)
+		if status != 0 {
+			t.Fatalf("-describe %s: exit %d, stderr:\n%s", sc.ID, status, stderr)
+		}
+		var parsed experiments.ScenarioSpec
+		if err := json.Unmarshal([]byte(stdout), &parsed); err != nil {
+			t.Fatal(err)
+		}
+		tab, err := parsed.Run(true)
+		if err != nil {
+			t.Fatalf("%s: parsed spec does not run: %v", sc.ID, err)
+		}
+		golden, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "golden", sc.ID+".table"))
+		if err != nil {
+			t.Fatalf("golden corpus missing: %v", err)
+		}
+		if got := tab.String(); got != string(golden) {
+			t.Errorf("%s: describe → parse → run differs from the golden corpus:\ngot:\n%s\nwant:\n%s",
+				sc.ID, got, golden)
 		}
 	}
 }

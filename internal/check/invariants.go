@@ -57,8 +57,30 @@ func MinRows(n int) Invariant {
 	}
 }
 
+// finiteValue is ParseValue for invariant consumers. NaN parses as
+// numeric ("NaN" satisfies strconv.ParseFloat) but every fail-on-
+// violation comparison — v < lo, v > hi, a > b — is false for NaN, so a
+// NaN cell would silently pass range and order invariants. It is an
+// explicit violation here instead, as is an infinite cell that isn't
+// the deliberate "forever" sentinel (sim.Time's rendering of an event
+// that never happens).
+func finiteValue(cell string) (float64, bool, error) {
+	v, ok := ParseValue(cell)
+	if !ok {
+		return 0, false, nil
+	}
+	if math.IsNaN(v) {
+		return 0, true, fmt.Errorf("cell %q is NaN", cell)
+	}
+	if math.IsInf(v, 0) && strings.TrimSpace(cell) != "forever" {
+		return 0, true, fmt.Errorf("cell %q is infinite", cell)
+	}
+	return v, true, nil
+}
+
 // numericColumn extracts the parsed values of a column, skipping Missing
-// cells, and fails on any cell that is neither numeric nor Missing.
+// cells, and fails on any cell that is neither numeric nor Missing — or
+// that is NaN or a non-sentinel infinity (see finiteValue).
 func numericColumn(t *experiments.Table, col string) ([]float64, error) {
 	ci, err := column(t, col)
 	if err != nil {
@@ -69,7 +91,10 @@ func numericColumn(t *experiments.Table, col string) ([]float64, error) {
 		if row[ci] == Missing {
 			continue
 		}
-		v, ok := ParseValue(row[ci])
+		v, ok, err := finiteValue(row[ci])
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", r, err)
+		}
 		if !ok {
 			return nil, fmt.Errorf("row %d cell %q is not numeric", r, row[ci])
 		}
@@ -193,8 +218,14 @@ func RowGE(hi, lo string) Invariant {
 				return err
 			}
 			for r, row := range t.Rows {
-				hv, hok := ParseValue(row[hiI])
-				lv, lok := ParseValue(row[loI])
+				hv, hok, herr := finiteValue(row[hiI])
+				lv, lok, lerr := finiteValue(row[loI])
+				if herr != nil {
+					return fmt.Errorf("row %d %s: %w", r, hi, herr)
+				}
+				if lerr != nil {
+					return fmt.Errorf("row %d %s: %w", r, lo, lerr)
+				}
 				if !hok || !lok {
 					continue
 				}
@@ -225,7 +256,10 @@ func AcrossRow(cols ...string) Invariant {
 			for r, row := range t.Rows {
 				prev := math.Inf(-1)
 				for i, ci := range idx {
-					v, ok := ParseValue(row[ci])
+					v, ok, err := finiteValue(row[ci])
+					if err != nil {
+						return fmt.Errorf("row %d %s: %w", r, cols[i], err)
+					}
 					if !ok {
 						continue
 					}
@@ -258,8 +292,14 @@ func RowRatioWithin(a, b string, factor float64) Invariant {
 				return err
 			}
 			for r, row := range t.Rows {
-				av, aok := ParseValue(row[ai])
-				bv, bok := ParseValue(row[bi])
+				av, aok, aerr := finiteValue(row[ai])
+				bv, bok, berr := finiteValue(row[bi])
+				if aerr != nil {
+					return fmt.Errorf("row %d %s: %w", r, a, aerr)
+				}
+				if berr != nil {
+					return fmt.Errorf("row %d %s: %w", r, b, berr)
+				}
 				if !aok || !bok || bv == 0 {
 					continue
 				}

@@ -1,0 +1,139 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"northstar/internal/experiments"
+)
+
+// nanTable builds a two-column table whose y column contains the given
+// cell between two ordinary values.
+func nanTable(cell string) *experiments.Table {
+	return &experiments.Table{
+		ID:      "T",
+		Title:   "poisoned",
+		Columns: []string{"x", "y"},
+		Rows:    [][]string{{"1", "2"}, {"2", cell}, {"3", "9"}},
+	}
+}
+
+// TestNaNCellFailsInvariants pins the bugfix: "NaN" parses as numeric
+// (strconv.ParseFloat accepts it) and every fail-on-violation
+// comparison is false for NaN, so before finiteValue a NaN cell
+// silently passed range, order, and ratio invariants. Now every numeric
+// invariant must reject it explicitly.
+func TestNaNCellFailsInvariants(t *testing.T) {
+	if v, ok := ParseValue("NaN"); !ok || !math.IsNaN(v) {
+		t.Fatalf("ParseValue(NaN) = %g, %v; want NaN, true", v, ok)
+	}
+	tab := nanTable("NaN")
+	invs := []Invariant{
+		Numeric("y"),
+		Positive("y"),
+		InRange("y", 0, 100, false),
+		Monotone("y", Increasing, false),
+		RowGE("y", "x"),
+		AcrossRow("x", "y"),
+		RowRatioWithin("y", "x", 100),
+	}
+	for _, inv := range invs {
+		err := inv.Check(tab)
+		if err == nil {
+			t.Errorf("%s: accepted a NaN cell", inv.Name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "NaN") {
+			t.Errorf("%s: error %q does not name the NaN cell", inv.Name, err)
+		}
+	}
+}
+
+// TestInfCellFailsInvariants: a literal "Inf" cell is a formatting
+// escape, not a measurement, and must fail — only the deliberate
+// "forever" sentinel may carry an infinity.
+func TestInfCellFailsInvariants(t *testing.T) {
+	for _, cell := range []string{"Inf", "+Inf", "-Inf"} {
+		tab := nanTable(cell)
+		for _, inv := range []Invariant{Numeric("y"), Positive("y"), RowGE("y", "x")} {
+			err := inv.Check(tab)
+			if err == nil {
+				t.Errorf("%s: accepted an %q cell", inv.Name, cell)
+				continue
+			}
+			if !strings.Contains(err.Error(), "infinite") {
+				t.Errorf("%s: error %q does not flag the infinity", inv.Name, err)
+			}
+		}
+	}
+}
+
+// TestForeverSentinelStillPasses: sim.Time renders an event that never
+// happens as "forever", and tables legitimately contain it — the
+// sentinel must keep passing as +Inf where the bound allows it.
+func TestForeverSentinelStillPasses(t *testing.T) {
+	tab := nanTable("forever")
+	for _, inv := range []Invariant{Numeric("y"), Positive("y"), RowGE("y", "x")} {
+		if err := inv.Check(tab); err != nil {
+			t.Errorf("%s rejected the forever sentinel: %v", inv.Name, err)
+		}
+	}
+	// But a bound above still catches it: forever is not in [0, 100].
+	if err := InRange("y", 0, 100, false).Check(tab); err == nil {
+		t.Error("InRange accepted forever against a finite upper bound")
+	}
+}
+
+// TestCellValueRejectsNaN covers the Custom-check helper: checks like
+// E7's winner-is-cheaper compare cellValue results, and NaN would make
+// both comparisons false — reporting a poisoned table as consistent.
+func TestCellValueRejectsNaN(t *testing.T) {
+	if _, err := cellValue(nanTable("NaN"), 1, "y"); err == nil {
+		t.Error("cellValue accepted a NaN cell")
+	}
+	if _, err := cellValue(nanTable("Inf"), 1, "y"); err == nil {
+		t.Error("cellValue accepted an Inf cell")
+	}
+	if v, err := cellValue(nanTable("forever"), 1, "y"); err != nil || !math.IsInf(v, 1) {
+		t.Errorf("cellValue(forever) = %g, %v; want +Inf, nil", v, err)
+	}
+}
+
+// TestForDerivesScenarioSchema asserts migrated experiments get their
+// Columns and MinRows invariants from the ScenarioSpec, and bespoke
+// experiments keep their hand-declared ones.
+func TestForDerivesScenarioSchema(t *testing.T) {
+	for _, id := range []string{"E1", "E4", "E7", "E9", "E10"} {
+		invs := For(id)
+		if len(invs) < 3 {
+			t.Fatalf("%s: only %d invariants", id, len(invs))
+		}
+		if invs[0].Name != "columns" || !strings.HasPrefix(invs[1].Name, "min-rows(") {
+			t.Errorf("%s: invariants start with %q, %q; want derived columns, min-rows",
+				id, invs[0].Name, invs[1].Name)
+		}
+		sc, err := experiments.ScenarioByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := &experiments.Table{ID: id, Title: "t", Columns: append([]string(nil), sc.Columns...)}
+		if err := invs[0].Check(good); err != nil {
+			t.Errorf("%s: derived columns invariant rejects the spec's own header: %v", id, err)
+		}
+		bad := &experiments.Table{ID: id, Title: "t", Columns: []string{"wrong"}}
+		if err := invs[0].Check(bad); err == nil {
+			t.Errorf("%s: derived columns invariant accepted a wrong header", id)
+		}
+	}
+	// A bespoke experiment still pins its schema by hand.
+	found := false
+	for _, inv := range For("E8") {
+		if inv.Name == "columns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("E8 (bespoke) lost its hand-declared columns invariant")
+	}
+}

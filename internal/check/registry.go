@@ -15,11 +15,13 @@ import (
 // corpus, live quick output at any worker count, and the full-mode
 // tables behind results/*.csv. Each entry encodes the experiment's
 // "expected shape" note from EXPERIMENTS.md as executable predicates.
+//
+// Experiments migrated to scenario specs carry no Columns or MinRows
+// pins here: For derives both from the registered ScenarioSpec (its
+// declared header and row-axis product), so the schema lives in exactly
+// one place. Bespoke experiments still pin them by hand.
 var declared = map[string][]Invariant{
 	"E1": { // device-technology curves: everything exponential, latency falls
-		Columns("year", "GF/socket", "$/GF(node)", "MB/$(dram)", "GB/s/socket(mem)",
-			"W/socket", "GB/$(disk)", "Gb/s(link)", "us(link-lat)"),
-		MinRows(4),
 		Monotone("year", Increasing, true),
 		Monotone("GF/socket", Increasing, true),
 		Monotone("$/GF(node)", Decreasing, true),
@@ -32,9 +34,6 @@ var declared = map[string][]Invariant{
 		Positive("GF/socket"), Positive("$/GF(node)"), Positive("us(link-lat)"),
 	},
 	"E2": { // fixed budget: peak explodes, HPL efficiency and MTBF erode
-		Columns("year", "nodes", "peak-TF", "linpack-TF", "hpl-eff", "mem-TB",
-			"power-kW", "racks", "mtbf-days"),
-		MinRows(4),
 		Monotone("year", Increasing, true),
 		Monotone("nodes", Increasing, true),
 		Monotone("peak-TF", Increasing, true),
@@ -49,9 +48,6 @@ var declared = map[string][]Invariant{
 		RowGE("peak-TF", "linpack-TF"),
 	},
 	"E3": { // node architectures: grouped by year, all rates physical
-		Columns("year", "arch", "cores", "GF/node", "GF/$k", "GF/W", "GF/rackU",
-			"B-per-flop", "nodes/rack"),
-		MinRows(5),
 		Monotone("year", Increasing, false),
 		OneOf("arch", "conventional", "blade", "smp-on-chip", "system-on-chip", "pim"),
 		AtLeast("cores", 1),
@@ -60,13 +56,10 @@ var declared = map[string][]Invariant{
 	},
 	"E4": { // app sensitivity: runtimes normalized to conventional == 1
 		ColumnConst("conventional", "1.00"),
-		MinRows(3),
 		Positive("conventional"), Positive("blade"),
 		Positive("smp-on-chip@2006"), Positive("pim"),
 	},
 	"E5": { // ping-pong: long messages never slower than medium ones
-		Columns("fabric", "latency-us(8B)", "bw-MB/s(64KB)", "bw-MB/s(4MB)", "half-bw-KB"),
-		MinRows(5),
 		OneOf("fabric", "fast-ethernet", "gigabit-ethernet", "myrinet-2000",
 			"qsnet-elan3", "infiniband-4x", "optical-circuit"),
 		Positive("latency-us(8B)"), Positive("bw-MB/s(64KB)"),
@@ -74,8 +67,6 @@ var declared = map[string][]Invariant{
 		RowGE("bw-MB/s(4MB)", "bw-MB/s(64KB)"),
 	},
 	"E5b": { // eager/rendezvous: time grows with size, higher limit never hurts
-		Columns("bytes", "limit=1B", "limit=4KB", "limit=16KB", "limit=64KB"),
-		MinRows(4),
 		Monotone("bytes", Increasing, true),
 		Monotone("limit=1B", Increasing, false),
 		Monotone("limit=4KB", Increasing, false),
@@ -90,8 +81,6 @@ var declared = map[string][]Invariant{
 		OneOf("op", "barrier", "allreduce-8B"),
 	},
 	"E6b": { // allreduce ablation: cost grows with vector length per algorithm
-		Columns("bytes", "recursive-doubling", "ring", "reduce+bcast"),
-		MinRows(4),
 		Monotone("bytes", Increasing, true),
 		Monotone("recursive-doubling", Increasing, false),
 		Monotone("ring", Increasing, false),
@@ -99,8 +88,6 @@ var declared = map[string][]Invariant{
 		Positive("recursive-doubling"), Positive("ring"), Positive("reduce+bcast"),
 	},
 	"E7": { // optical crossover: the winner column names the cheaper fabric
-		Columns("bytes-per-pair", "infiniband-packet", "optical-circuit", "winner"),
-		MinRows(4),
 		Monotone("bytes-per-pair", Increasing, true),
 		Monotone("infiniband-packet", Increasing, false),
 		Monotone("optical-circuit", Increasing, false),
@@ -121,8 +108,6 @@ var declared = map[string][]Invariant{
 		RowGE("p95-wait-min", "mean-wait-min"),
 	},
 	"E9": { // MTBF vs scale: everything collapses as N grows
-		Columns("nodes", "mtbf(exp)", "first-failure(weibull-0.7)", "all-up-availability"),
-		MinRows(4),
 		Monotone("nodes", Increasing, true),
 		Monotone("mtbf(exp)", Decreasing, true),
 		Monotone("first-failure(weibull-0.7)", Decreasing, true),
@@ -132,9 +117,6 @@ var declared = map[string][]Invariant{
 		Custom("first-failure-tracks-analytic", checkE9FirstFailure),
 	},
 	"E10": { // checkpointing: Young >= Daly, simulated optimum tracks Young
-		Columns("nodes", "system-mtbf", "young", "daly", "simulated-opt",
-			"useful-frac@opt", "useful-frac@young"),
-		MinRows(3),
 		Monotone("nodes", Increasing, true),
 		Monotone("system-mtbf", Decreasing, true),
 		Monotone("young", Decreasing, true),
@@ -233,10 +215,22 @@ var declared = map[string][]Invariant{
 	},
 }
 
-// For returns the declared invariants for the experiment, or nil if none
-// are declared (the coverage test in this package keeps that impossible
-// for suite IDs).
-func For(id string) []Invariant { return declared[id] }
+// For returns the invariants for the experiment, or nil if none are
+// declared (the coverage test in this package keeps that impossible for
+// suite IDs). For experiments migrated to scenario specs, the schema
+// invariants — the declared column header and the row-axis product as a
+// row floor — are derived from the registered ScenarioSpec and prepended
+// to the declared shape invariants, so the spec is the single source of
+// truth for what its table looks like.
+func For(id string) []Invariant {
+	invs := declared[id]
+	sc, err := experiments.ScenarioByID(id)
+	if err != nil {
+		return invs
+	}
+	derived := []Invariant{Columns(sc.Columns...), MinRows(sc.MinRows())}
+	return append(derived, invs...)
+}
 
 // IDs returns every experiment ID with a declaration, sorted.
 func IDs() []string {
@@ -545,13 +539,18 @@ func baselineSlowdown(loadCol, slowdownCol string) func(t *experiments.Table) er
 
 // cellValue parses the cell at (row, col) as a number, failing (rather
 // than skipping) on non-numeric cells — for checks where the cell being
-// numeric is itself part of the invariant.
+// numeric is itself part of the invariant. NaN and non-sentinel
+// infinities fail too (finiteValue): a NaN cell would otherwise sail
+// through every comparison below.
 func cellValue(t *experiments.Table, row int, col string) (float64, error) {
 	cell, err := t.Cell(row, col)
 	if err != nil {
 		return 0, err
 	}
-	v, ok := ParseValue(cell)
+	v, ok, ferr := finiteValue(cell)
+	if ferr != nil {
+		return 0, fmt.Errorf("row %d, %s: %w", row, col, ferr)
+	}
 	if !ok {
 		return 0, fmt.Errorf("row %d: cell %q in %s is not numeric", row, cell, col)
 	}

@@ -20,24 +20,26 @@ type Spec struct {
 }
 
 // All returns the full experiment suite in order. Pass quick=true to the
-// Run functions for CI-scale sweeps.
+// Run functions for CI-scale sweeps. Migrated experiments come straight
+// from their ScenarioSpec (ID, title, cost, and Run are all spec data);
+// the rest are still bespoke functions.
 func All() []Spec {
 	wrap := func(f func() (*Table, error)) func(bool) (*Table, error) {
 		return func(bool) (*Table, error) { return f() }
 	}
 	return []Spec{
-		{"E1", "device-technology curves", wrap(E1TechCurves), 0.0001},
-		{"E2", "fixed-budget cluster growth", wrap(E2FixedBudget), 0.0003},
-		{"E3", "node-architecture comparison", wrap(E3NodeArch), 0.0001},
-		{"E4", "application sensitivity to architecture", E4ArchApps, 0.43},
-		{"E5", "interconnect microbenchmarks", E5PingPong, 0.018},
-		{"E5b", "eager/rendezvous protocol ablation", E5bEagerRendezvous, 0.002},
+		mustScenario("E1"),
+		mustScenario("E2"),
+		mustScenario("E3"),
+		mustScenario("E4"),
+		mustScenario("E5"),
+		mustScenario("E5b"),
 		{"E6", "collective scaling", E6Collectives, 0.29},
-		{"E6b", "allreduce algorithm ablation", E6bAllreduceAlgos, 0.094},
-		{"E7", "optical circuit-switching crossover", E7Optical, 0.155},
+		mustScenario("E6b"),
+		mustScenario("E7"),
 		{"E8", "batch scheduling policies", E8Scheduling, 0.21},
-		{"E9", "MTBF and availability vs scale", wrap(E9MTBF), 0.001},
-		{"E10", "checkpoint/restart optimum", E10Checkpoint, 0.044},
+		mustScenario("E9"),
+		mustScenario("E10"),
 		{"E11", "trans-petaflops crossing", wrap(E11Petaflops), 0.015},
 		{"E12", "innovation waterfall", wrap(E12Ablation), 0.001},
 		{"X1", "hybrid vs flat placement on SMP nodes", X1Hybrid, 0.13},

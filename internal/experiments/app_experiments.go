@@ -1,16 +1,12 @@
 package experiments
 
 import (
-	"fmt"
-
 	"northstar/internal/machine"
 	"northstar/internal/mc"
 	"northstar/internal/msg"
 	"northstar/internal/network"
 	"northstar/internal/node"
-	"northstar/internal/sim"
 	"northstar/internal/tech"
-	"northstar/internal/workload"
 )
 
 func mach(nodes int, arch node.Arch, preset network.Preset, year float64) (*machine.Machine, error) {
@@ -25,152 +21,18 @@ func mach(nodes int, arch node.Arch, preset network.Preset, year float64) (*mach
 // E4ArchApps reproduces claim C3 at the application level: runtimes of
 // four skeleton codes on 64 nodes, per node architecture, normalized to
 // conventional. EP is the compute control; stencil and CG are
-// memory-bound (PIM's niche); HPL is dense compute.
+// memory-bound (PIM's niche); HPL is dense compute. Spec-driven (E4,
+// arch-apps model): the app sweep shards across the mc pool through the
+// scenario interpreter.
 func E4ArchApps(quick bool) (*Table, error) {
-	nodes, scale := 64, 1
-	if quick {
-		nodes, scale = 16, 4
-	}
-	apps := []workload.App{
-		workload.EP{FlopsPerRank: 4e9 / float64(scale)},
-		workload.Stencil2D{GridX: 2048 / scale, GridY: 2048 / scale, Iters: 20},
-		workload.CG{N: int64(1 << 20 / scale), NNZPerRow: 27, Iters: 25},
-		workload.HPL{N: int64(8192 / scale), NB: 64},
-	}
-	t := &Table{
-		ID:      "E4",
-		Title:   fmt.Sprintf("Application runtime by node architecture (%d nodes, myrinet), normalized to conventional", nodes),
-		Columns: []string{"app", "conventional", "blade", "smp-on-chip@2006", "pim"},
-		Notes: []string{
-			"cells are runtime relative to conventional at the same year (2002; smp-on-chip evaluated at 2006 vs conventional 2006)",
-			"expected shape: EP ~flat across arches (scaled by peak); stencil/CG much faster on PIM; HPL slower on PIM",
-		},
-	}
-	// One task per app; each task builds its own machines, so rows are
-	// independent and the sweep shards across the mc pool. Rows land in
-	// per-app slots and are added in app order, keeping the table
-	// byte-identical to the sequential sweep.
-	rows := make([][]any, len(apps))
-	errs := make([]error, len(apps))
-	mc.ForEach(mc.Default(), len(apps), func(ai int) {
-		app := apps[ai]
-		row := []any{app.Name()}
-		var convTime, conv2006 sim.Time
-		for i, cfg := range []struct {
-			arch node.Arch
-			year float64
-		}{
-			{node.Conventional, 2002},
-			{node.Blade, 2002},
-			{node.SMPOnChip, 2006},
-			{node.PIM, 2002},
-		} {
-			m, err := mach(nodes, cfg.arch, network.Myrinet2000(), cfg.year)
-			if err != nil {
-				errs[ai] = err
-				return
-			}
-			rep, err := workload.Execute(m, msg.Options{}, app)
-			if err != nil {
-				errs[ai] = err
-				return
-			}
-			switch i {
-			case 0:
-				convTime = rep.Elapsed
-				// Baseline for the 2006 comparison.
-				m6, err := mach(nodes, node.Conventional, network.Myrinet2000(), 2006)
-				if err != nil {
-					errs[ai] = err
-					return
-				}
-				rep6, err := workload.Execute(m6, msg.Options{}, app)
-				if err != nil {
-					errs[ai] = err
-					return
-				}
-				conv2006 = rep6.Elapsed
-				row = append(row, 1.0)
-			case 2:
-				row = append(row, float64(rep.Elapsed)/float64(conv2006))
-			default:
-				row = append(row, float64(rep.Elapsed)/float64(convTime))
-			}
-		}
-		rows[ai] = row
-	})
-	for ai := range apps {
-		if errs[ai] != nil {
-			return nil, errs[ai]
-		}
-		t.AddRow(rows[ai]...)
-	}
-	return t, nil
+	return runScenarioByID("E4", quick)
 }
 
 // E5PingPong reproduces claim C4's microbenchmark: ping-pong latency
 // and bandwidth per fabric, with the half-bandwidth message size.
+// Spec-driven (E5, pingpong model).
 func E5PingPong(quick bool) (*Table, error) {
-	t := &Table{
-		ID:      "E5",
-		Title:   "Ping-pong microbenchmark per fabric",
-		Columns: []string{"fabric", "latency-us(8B)", "bw-MB/s(64KB)", "bw-MB/s(4MB)", "half-bw-KB"},
-		Notes: []string{
-			"expected shape: latency FE > GigE > Myrinet > IB ~ QsNet; bandwidth reversed; half-bandwidth point shrinks as fabrics improve",
-			"optical's latency cell includes the one-time circuit setup amortized over the rep count; its steady-state wire latency is ~2 us",
-		},
-	}
-	reps := 50
-	if quick {
-		reps = 10
-	}
-	for _, preset := range network.Presets() {
-		oneWay := func(bytes int64) (sim.Time, error) {
-			m, err := mach(2, node.Conventional, preset, 2002)
-			if err != nil {
-				return 0, err
-			}
-			rep, err := workload.Execute(m, msg.Options{}, workload.PingPong{Bytes: bytes, Reps: reps})
-			if err != nil {
-				return 0, err
-			}
-			return rep.Elapsed / sim.Time(2*reps), nil
-		}
-		lat, err := oneWay(8)
-		if err != nil {
-			return nil, err
-		}
-		bw := func(bytes int64) (float64, error) {
-			tt, err := oneWay(bytes)
-			if err != nil {
-				return 0, err
-			}
-			return float64(bytes) / float64(tt) / 1e6, nil
-		}
-		bw64k, err := bw(64 << 10)
-		if err != nil {
-			return nil, err
-		}
-		bw4m, err := bw(4 << 20)
-		if err != nil {
-			return nil, err
-		}
-		// Half-bandwidth point: smallest power-of-two size achieving half
-		// the 4MB bandwidth.
-		halfKB := -1.0
-		for sz := int64(8); sz <= 4<<20; sz *= 2 {
-			b, err := bw(sz)
-			if err != nil {
-				return nil, err
-			}
-			if b >= bw4m/2 {
-				halfKB = float64(sz) / 1024
-				break
-			}
-		}
-		t.AddRow(preset.Name, float64(lat)*1e6, bw64k, bw4m, halfKB)
-	}
-	return t, nil
+	return runScenarioByID("E5", quick)
 }
 
 // E6Collectives reproduces claim C4 at the collective level: barrier and
@@ -239,139 +101,26 @@ func E6Collectives(quick bool) (*Table, error) {
 
 // E6bAllreduceAlgos is the collective-algorithm ablation: recursive
 // doubling vs ring vs reduce+bcast across vector sizes at fixed P.
+// Spec-driven (E6b, allreduce-algos model).
 func E6bAllreduceAlgos(quick bool) (*Table, error) {
-	p := 64
-	sizes := []int64{8, 1 << 10, 64 << 10, 1 << 20, 8 << 20}
-	if quick {
-		p = 16
-		sizes = []int64{8, 1 << 10, 64 << 10, 1 << 20}
-	}
-	t := &Table{
-		ID:      "E6b",
-		Title:   fmt.Sprintf("Allreduce algorithm ablation, P=%d, gigabit ethernet (ms)", p),
-		Columns: []string{"bytes", "recursive-doubling", "ring", "reduce+bcast"},
-		Notes: []string{
-			"expected shape: recursive doubling wins short vectors (latency-bound); ring wins long vectors (bandwidth-bound)",
-		},
-	}
-	for _, bytes := range sizes {
-		row := []any{fmt.Sprintf("%d", bytes)}
-		for _, algo := range []msg.Algo{msg.RecursiveDoubling, msg.Ring, msg.Binomial} {
-			m, err := mach(p, node.Conventional, network.GigabitEthernet(), 2002)
-			if err != nil {
-				return nil, err
-			}
-			end, err := msg.Run(m, msg.Options{Allreduce: algo}, func(r *msg.Rank) { r.Allreduce(bytes) })
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, float64(end)*1e3)
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
+	return runScenarioByID("E6b", quick)
 }
 
 // E7Optical reproduces claim C4's optical-switching crossover: alltoall
 // (the FFT transpose pattern) on a packet-switched InfiniBand fat tree
 // versus the optical circuit switch, across per-pair payload sizes.
+// Spec-driven (E7, optical-alltoall model): both machines are built once
+// in the model's setup and reset between payload sizes.
 func E7Optical(quick bool) (*Table, error) {
-	p := 64
-	sizes := []int64{1 << 10, 16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	if quick {
-		p = 16
-		sizes = []int64{1 << 10, 64 << 10, 1 << 20, 4 << 20}
-	}
-	t := &Table{
-		ID:      "E7",
-		Title:   fmt.Sprintf("Alltoall time (ms), P=%d: packet-switched InfiniBand vs optical circuit", p),
-		Columns: []string{"bytes-per-pair", "infiniband-packet", "optical-circuit", "winner"},
-		Notes: []string{
-			"expected shape: packet switching wins small payloads; optical wins once the payload amortizes the ~1 ms circuit setup",
-		},
-	}
-	// Both machines are built ONCE and reset between payload sizes —
-	// machine construction (fat-tree wiring, node models) was the fixed
-	// cost of the old per-size tasks, and Machine.Reset makes a reused
-	// machine bit-identical to a fresh one. The sweep itself is batched
-	// sequentially: each alltoall evaluation is dominated by the packet
-	// simulation, which the fabric's steady-state fast path keeps linear
-	// in route length rather than packet count.
-	ib, err := machine.New(machine.Config{
-		Nodes:       p,
-		Node:        node.MustBuild(node.Conventional, tech.Default2002(), 2002),
-		Fabric:      network.InfiniBand4X(),
-		PacketLevel: true,
-		Topology:    machine.TopoFatTree,
-		Seed:        42,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Bulk batching: E7's payloads run to thousands of MTU packets per
-	// pair, the steady-state fast path's exact territory. E7's own
-	// tables were regenerated when this was enabled (the extrapolation
-	// shifts times by ~ulps relative to the per-packet loop).
-	if pn, ok := ib.Fabric().(*network.PacketNet); ok {
-		pn.BatchBulk = true
-	}
-	opt, err := mach(p, node.Conventional, network.OpticalCircuit(), 2002)
-	if err != nil {
-		return nil, err
-	}
-	for _, bytes := range sizes {
-		ib.Reset()
-		tIB, err := msg.Run(ib, msg.Options{}, func(r *msg.Rank) { r.Alltoall(bytes) })
-		if err != nil {
-			return nil, err
-		}
-		opt.Reset()
-		tOpt, err := msg.Run(opt, msg.Options{}, func(r *msg.Rank) { r.Alltoall(bytes) })
-		if err != nil {
-			return nil, err
-		}
-		winner := "packet"
-		if tOpt < tIB {
-			winner = "optical"
-		}
-		t.AddRow(fmt.Sprintf("%d", bytes), float64(tIB)*1e3, float64(tOpt)*1e3, winner)
-	}
-	return t, nil
+	return runScenarioByID("E7", quick)
 }
 
 // E5bEagerRendezvous is the messaging-protocol ablation: one-way message
 // time across sizes under different eager limits. Below the limit a
 // message costs one traversal; above it the rendezvous handshake adds a
 // control round trip — visible exactly at each limit boundary.
+// Spec-driven (E5b, eager-rendezvous model): the eager limits are a
+// column axis, the sizes a row axis.
 func E5bEagerRendezvous(quick bool) (*Table, error) {
-	limits := []int64{1, 4 << 10, 16 << 10, 64 << 10}
-	sizes := []int64{256, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
-	reps := 20
-	if quick {
-		reps = 5
-	}
-	t := &Table{
-		ID:      "E5b",
-		Title:   "Eager/rendezvous protocol ablation: one-way time (us), myrinet, by eager limit",
-		Columns: []string{"bytes", "limit=1B", "limit=4KB", "limit=16KB", "limit=64KB"},
-		Notes: []string{
-			"expected shape: crossing each column's eager limit adds ~a control round trip (RTS/CTS) to the one-way time",
-		},
-	}
-	for _, size := range sizes {
-		row := []any{fmt.Sprintf("%d", size)}
-		for _, limit := range limits {
-			m, err := mach(2, node.Conventional, network.Myrinet2000(), 2002)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := workload.Execute(m, msg.Options{EagerLimit: limit}, workload.PingPong{Bytes: size, Reps: reps})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, float64(rep.Elapsed)/float64(2*reps)*1e6)
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
+	return runScenarioByID("E5b", quick)
 }

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+)
+
+// scenarioSpecs is the migrated spec inventory: every experiment that
+// runs through the ScenarioSpec interpreter, in suite order. Each entry
+// is pure data — the same tables the bespoke functions produced, byte
+// for byte, with their parameters lifted into declarative form. The
+// remaining experiments (E6, E8, E11, E12, X1–X7) are still bespoke
+// functions; EXPERIMENTS.md tracks the migration state.
+var scenarioSpecs = []*ScenarioSpec{
+	{
+		ID:    "E1",
+		Name:  "device-technology curves",
+		Title: "Device-technology curves, 2002-2012 (per commodity socket / dollar)",
+		Model: "tech-curves",
+		Columns: []string{"year", "GF/socket", "$/GF(node)", "MB/$(dram)", "GB/s/socket(mem)",
+			"W/socket", "GB/$(disk)", "Gb/s(link)", "us(link-lat)"},
+		Notes: []string{
+			"expected shape: every column exponential; flops/$ doubles every ~20 months (Moore band)",
+			"memory bandwidth grows slower than flops: the memory wall that motivates PIM",
+		},
+		Sweep: []Axis{
+			{Name: "year", Values: []string{"2002", "2004", "2006", "2008", "2010", "2012"}},
+		},
+		Cost: 0.0001,
+	},
+	{
+		ID:    "E2",
+		Name:  "fixed-budget cluster growth",
+		Title: "What $1M buys, 2002-2012 (conventional nodes, gigabit ethernet)",
+		Model: "fixed-budget",
+		Columns: []string{"year", "nodes", "peak-TF", "linpack-TF", "hpl-eff", "mem-TB",
+			"power-kW", "racks", "mtbf-days"},
+		Notes: []string{
+			"expected shape: ~x8-10 peak per 5 years at fixed budget",
+			"MTBF shrinks as the same money buys more nodes: fault recovery becomes mandatory",
+		},
+		Params:  map[string]float64{"budget-dollars": 1e6},
+		Options: map[string]string{"arch": "conventional", "fabric": "gigabit-ethernet"},
+		Sweep: []Axis{
+			{Name: "year", Values: []string{"2002", "2003", "2004", "2005", "2006", "2007",
+				"2008", "2009", "2010", "2011", "2012"}},
+		},
+		Cost: 0.0003,
+	},
+	{
+		ID:    "E3",
+		Name:  "node-architecture comparison",
+		Title: "Node architectures at 2002 / 2006 / 2010",
+		Model: "node-arch",
+		Columns: []string{"year", "arch", "cores", "GF/node", "GF/$k", "GF/W",
+			"GF/rackU", "B-per-flop", "nodes/rack"},
+		Notes: []string{
+			"expected shape: blade wins GF/rackU (~3x density); smp-on-chip wins GF/$ and GF/W once cores multiply (2005+)",
+			"PIM wins bytes-per-flop by ~an order of magnitude at lower peak: the memory-bound niche",
+		},
+		Sweep: []Axis{
+			{Name: "year", Values: []string{"2002", "2006", "2010"}},
+			{Name: "arch", Values: []string{"conventional", "blade", "smp-on-chip", "system-on-chip", "pim"}},
+		},
+		Cost: 0.0001,
+	},
+	{
+		ID:      "E4",
+		Name:    "application sensitivity to architecture",
+		Title:   "Application runtime by node architecture ({nodes} nodes, myrinet), normalized to conventional",
+		Model:   "arch-apps",
+		Columns: []string{"app", "conventional", "blade", "smp-on-chip@2006", "pim"},
+		Notes: []string{
+			"cells are runtime relative to conventional at the same year (2002; smp-on-chip evaluated at 2006 vs conventional 2006)",
+			"expected shape: EP ~flat across arches (scaled by peak); stencil/CG much faster on PIM; HPL slower on PIM",
+		},
+		Seed:    42,
+		Params:  map[string]float64{"nodes": 64, "scale": 1},
+		Quick:   map[string]float64{"nodes": 16, "scale": 4},
+		Options: map[string]string{"fabric": "myrinet-2000"},
+		Sweep: []Axis{
+			{Name: "app", Values: []string{"ep", "stencil2d", "cg", "hpl"}},
+		},
+		Cost: 0.43,
+	},
+	{
+		ID:      "E5",
+		Name:    "interconnect microbenchmarks",
+		Title:   "Ping-pong microbenchmark per fabric",
+		Model:   "pingpong",
+		Columns: []string{"fabric", "latency-us(8B)", "bw-MB/s(64KB)", "bw-MB/s(4MB)", "half-bw-KB"},
+		Notes: []string{
+			"expected shape: latency FE > GigE > Myrinet > IB ~ QsNet; bandwidth reversed; half-bandwidth point shrinks as fabrics improve",
+			"optical's latency cell includes the one-time circuit setup amortized over the rep count; its steady-state wire latency is ~2 us",
+		},
+		Seed:   42,
+		Params: map[string]float64{"reps": 50},
+		Quick:  map[string]float64{"reps": 10},
+		Sweep: []Axis{
+			{Name: "fabric", Values: []string{"fast-ethernet", "gigabit-ethernet", "myrinet-2000",
+				"qsnet-elan3", "infiniband-4x", "optical-circuit"}},
+		},
+		Cost: 0.018,
+	},
+	{
+		ID:      "E5b",
+		Name:    "eager/rendezvous protocol ablation",
+		Title:   "Eager/rendezvous protocol ablation: one-way time (us), myrinet, by eager limit",
+		Model:   "eager-rendezvous",
+		Columns: []string{"bytes", "limit=1B", "limit=4KB", "limit=16KB", "limit=64KB"},
+		Notes: []string{
+			"expected shape: crossing each column's eager limit adds ~a control round trip (RTS/CTS) to the one-way time",
+		},
+		Seed:    42,
+		Params:  map[string]float64{"reps": 20},
+		Quick:   map[string]float64{"reps": 5},
+		Options: map[string]string{"fabric": "myrinet-2000"},
+		Sweep: []Axis{
+			{Name: "bytes", Values: []string{"256", "4096", "16384", "65536", "262144"}},
+			{Name: "limit", Cols: true, Values: []string{"1", "4096", "16384", "65536"}},
+		},
+		Cost: 0.002,
+	},
+	{
+		ID:      "E6b",
+		Name:    "allreduce algorithm ablation",
+		Title:   "Allreduce algorithm ablation, P={p}, gigabit ethernet (ms)",
+		Model:   "allreduce-algos",
+		Columns: []string{"bytes", "recursive-doubling", "ring", "reduce+bcast"},
+		Notes: []string{
+			"expected shape: recursive doubling wins short vectors (latency-bound); ring wins long vectors (bandwidth-bound)",
+		},
+		Seed:    42,
+		Params:  map[string]float64{"p": 64},
+		Quick:   map[string]float64{"p": 16},
+		Options: map[string]string{"fabric": "gigabit-ethernet"},
+		Sweep: []Axis{
+			{Name: "bytes", Values: []string{"8", "1024", "65536", "1048576", "8388608"},
+				Quick: []string{"8", "1024", "65536", "1048576"}},
+		},
+		Cost: 0.094,
+	},
+	{
+		ID:      "E7",
+		Name:    "optical circuit-switching crossover",
+		Title:   "Alltoall time (ms), P={p}: packet-switched InfiniBand vs optical circuit",
+		Model:   "optical-alltoall",
+		Columns: []string{"bytes-per-pair", "infiniband-packet", "optical-circuit", "winner"},
+		Notes: []string{
+			"expected shape: packet switching wins small payloads; optical wins once the payload amortizes the ~1 ms circuit setup",
+		},
+		Seed:    42,
+		Params:  map[string]float64{"p": 64},
+		Quick:   map[string]float64{"p": 16},
+		Options: map[string]string{"packet-fabric": "infiniband-4x", "circuit-fabric": "optical-circuit"},
+		Sweep: []Axis{
+			{Name: "bytes", Values: []string{"1024", "16384", "262144", "1048576", "4194304", "16777216"},
+				Quick: []string{"1024", "65536", "1048576", "4194304"}},
+		},
+		Cost: 0.155,
+	},
+	{
+		ID:      "E9",
+		Name:    "MTBF and availability vs scale",
+		Title:   "Failure behavior vs scale (1000-day node MTBF, 4 h repair)",
+		Model:   "mtbf-scale",
+		Columns: []string{"nodes", "mtbf(exp)", "first-failure(weibull-0.7)", "all-up-availability"},
+		Notes: []string{
+			"expected shape: MTBF ~ 1/N; hours at 10^4-10^5 nodes; all-up availability collapses — fault recovery is mandatory at scale",
+		},
+		Seed: 7,
+		Params: map[string]float64{
+			"node-mtbf-days": 1000,
+			"repair-hours":   4,
+			"weibull-shape":  0.7,
+			"runs":           2000,
+			"runs-large":     200,
+			"large-cutoff":   10000,
+		},
+		Sweep: []Axis{
+			{Name: "nodes", Values: []string{"1", "10", "100", "1000", "10000", "100000"}},
+		},
+		Cost: 0.001,
+	},
+	{
+		ID:    "E10",
+		Name:  "checkpoint/restart optimum",
+		Title: "Checkpoint/restart: analytic vs simulated optimal interval (1-week job, delta=5 min, R=10 min)",
+		Model: "checkpoint-opt",
+		Columns: []string{"nodes", "system-mtbf", "young", "daly", "simulated-opt",
+			"useful-frac@opt", "useful-frac@young"},
+		Notes: []string{
+			"expected shape: simulated optimum ~ Young's sqrt(2*delta*M); useful fraction degrades with scale",
+		},
+		Seed: 13,
+		Params: map[string]float64{
+			"node-mtbf-days": 1000,
+			"work-hours":     168,
+			"overhead-min":   5,
+			"restart-min":    10,
+			"runs":           200,
+		},
+		Quick: map[string]float64{"runs": 40},
+		Sweep: []Axis{
+			{Name: "nodes", Values: []string{"128", "512", "2048", "8192"}},
+		},
+		Cost: 0.044,
+	},
+}
+
+// Scenarios returns the migrated scenario specs in suite order.
+func Scenarios() []*ScenarioSpec { return scenarioSpecs }
+
+var scenarioIndex struct {
+	once sync.Once
+	m    map[string]*ScenarioSpec
+}
+
+// ScenarioByID returns the registered scenario spec with the given ID,
+// or an error for experiments that have not been migrated (or don't
+// exist). The index is built once, on first use.
+func ScenarioByID(id string) (*ScenarioSpec, error) {
+	scenarioIndex.once.Do(func() {
+		scenarioIndex.m = make(map[string]*ScenarioSpec, len(scenarioSpecs))
+		for _, sc := range scenarioSpecs {
+			scenarioIndex.m[sc.ID] = sc
+		}
+	})
+	if sc, ok := scenarioIndex.m[id]; ok {
+		return sc, nil
+	}
+	return nil, fmt.Errorf("experiments: no scenario spec for %q", id)
+}
+
+// mustScenario adapts a registered scenario into the runner's Spec form.
+// It panics on an unknown ID: All() is assembled at init from the same
+// inventory, so a miss is a programming error, not input.
+func mustScenario(id string) Spec {
+	sc, err := ScenarioByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return Spec{ID: sc.ID, Title: sc.Name, Run: sc.Run, Cost: sc.Cost}
+}

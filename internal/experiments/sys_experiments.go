@@ -2,13 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
-	"northstar/internal/fault"
 	"northstar/internal/mc"
 	"northstar/internal/sched"
-	"northstar/internal/sim"
-	"northstar/internal/stats"
 )
 
 // E8Scheduling reproduces claim C5: resource-management policies on a
@@ -80,89 +76,17 @@ func E8Scheduling(quick bool) (*Table, error) {
 // E9MTBF reproduces claim C6's scale argument: system MTBF and all-up
 // availability as node count grows, for exponential and infant-mortality
 // (Weibull shape 0.7) node lifetimes with a 1000-day node MTBF and
-// 4-hour repairs.
+// 4-hour repairs. Spec-driven (E9, mtbf-scale model).
 func E9MTBF() (*Table, error) {
-	t := &Table{
-		ID:      "E9",
-		Title:   "Failure behavior vs scale (1000-day node MTBF, 4 h repair)",
-		Columns: []string{"nodes", "mtbf(exp)", "first-failure(weibull-0.7)", "all-up-availability"},
-		Notes: []string{
-			"expected shape: MTBF ~ 1/N; hours at 10^4-10^5 nodes; all-up availability collapses — fault recovery is mandatory at scale",
-		},
-	}
-	nodeMTBF := 1000 * sim.Day
-	weibullScale := float64(nodeMTBF) / math.Gamma(1+1/0.7)
-	for _, n := range []int{1, 10, 100, 1000, 10000, 100000} {
-		expo := fault.System{
-			Nodes:    n,
-			Lifetime: stats.Exponential{Rate: 1 / float64(nodeMTBF)},
-			Repair:   stats.Constant{V: float64(4 * sim.Hour)},
-		}
-		weib := fault.System{Nodes: n, Lifetime: stats.Weibull{Scale: weibullScale, Shape: 0.7}}
-		runs := 2000
-		if n >= 10000 {
-			runs = 200
-		}
-		t.AddRow(
-			n,
-			expo.MTBF().String(),
-			weib.FirstFailureMean(runs, 7).String(),
-			expo.AllUpAvailability(),
-		)
-	}
-	return t, nil
+	return runScenarioByID("E9", false)
 }
 
 // E10Checkpoint reproduces claim C6's recovery side: the optimal
 // checkpoint interval — Young and Daly analytic versus the simulated
 // optimum — and the useful-work fraction, as system scale shrinks MTBF.
 // The job is one week of work with 5-minute checkpoints and 10-minute
-// restarts on nodes with 1000-day MTBF.
+// restarts on nodes with 1000-day MTBF. Spec-driven (E10,
+// checkpoint-opt model).
 func E10Checkpoint(quick bool) (*Table, error) {
-	runs := 200
-	if quick {
-		runs = 40
-	}
-	t := &Table{
-		ID:    "E10",
-		Title: "Checkpoint/restart: analytic vs simulated optimal interval (1-week job, delta=5 min, R=10 min)",
-		Columns: []string{"nodes", "system-mtbf", "young", "daly", "simulated-opt",
-			"useful-frac@opt", "useful-frac@young"},
-		Notes: []string{
-			"expected shape: simulated optimum ~ Young's sqrt(2*delta*M); useful fraction degrades with scale",
-		},
-	}
-	nodeMTBF := 1000 * sim.Day
-	for _, n := range []int{128, 512, 2048, 8192} {
-		mtbf := nodeMTBF / sim.Time(n)
-		c := fault.Checkpoint{
-			Work:     168 * sim.Hour,
-			Overhead: 5 * sim.Minute,
-			Restart:  10 * sim.Minute,
-			MTBF:     mtbf,
-			Interval: sim.Hour, // placeholder
-		}
-		young := fault.YoungInterval(c.Overhead, mtbf)
-		daly := fault.DalyInterval(c.Overhead, mtbf)
-		opt, optRes, err := c.OptimalInterval(runs, 13)
-		if err != nil {
-			return nil, err
-		}
-		cy := c
-		cy.Interval = young
-		youngRes, err := cy.Simulate(runs, 13)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(
-			n,
-			mtbf.String(),
-			young.String(),
-			daly.String(),
-			opt.String(),
-			optRes.UsefulFraction,
-			youngRes.UsefulFraction,
-		)
-	}
-	return t, nil
+	return runScenarioByID("E10", quick)
 }

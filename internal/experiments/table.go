@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is one experiment's output.
@@ -82,21 +83,26 @@ func (t *Table) Validate() error {
 	return nil
 }
 
-// Fprint writes the table as aligned text. It returns the first write
-// error: a broken pipe must surface as a failure, not a silently
-// truncated table.
+// Fprint writes the table as aligned text. It validates first — a
+// ragged table errors instead of panicking on a width index — and
+// returns the first write error: a broken pipe must surface as a
+// failure, not a silently truncated table. Column widths count runes,
+// not bytes, so multi-byte cells like "12 µs" still align.
 func (t *Table) Fprint(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
 	ew := &errWriter{w: w}
 	w = ew
 	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if n := utf8.RuneCountInString(cell); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -107,7 +113,7 @@ func (t *Table) Fprint(w io.Writer) error {
 				b.WriteString("  ")
 			}
 			b.WriteString(cell)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
 		}
 		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}
@@ -145,7 +151,8 @@ func (e *errWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// String renders the table as text.
+// String renders the table as text. An invalid (ragged) table renders
+// as the empty string — Fprint refuses it before writing anything.
 func (t *Table) String() string {
 	var b strings.Builder
 	t.Fprint(&b) // a strings.Builder write cannot fail

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFprintRuneAlignment pins the width arithmetic on multi-byte
+// cells: "µ" is two bytes but one column, so byte-counted widths would
+// shove every cell after a µs value one space left. The expected text
+// is written out in full — alignment bugs show up as a shifted column,
+// not a failed helper.
+func TestFprintRuneAlignment(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "µs cells",
+		Columns: []string{"op", "time", "note"},
+	}
+	tab.AddRow("a", "12µs", "x")
+	tab.AddRow("bb", "5000µs", "y")
+	want := strings.Join([]string{
+		"== T: µs cells ==",
+		"op  time    note",
+		"----------------",
+		"a   12µs    x",
+		"bb  5000µs  y",
+		"",
+		"",
+	}, "\n")
+	if got := tab.String(); got != want {
+		t.Errorf("rune alignment broken:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFprintValidatesFirst pins the ragged-table path: Fprint must
+// refuse a table whose rows don't match the header — returning
+// Validate's error and writing nothing — instead of panicking on a
+// width index.
+func TestFprintValidatesFirst(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "ragged",
+		Columns: []string{"a", "b"},
+		// Built directly: AddRow would panic on the mismatch, but nothing
+		// stops a hand-assembled or deserialized table from being ragged.
+		Rows: [][]string{{"1", "2", "3"}},
+	}
+	var out strings.Builder
+	err := tab.Fprint(&out)
+	if err == nil {
+		t.Fatal("Fprint accepted a ragged table")
+	}
+	if !strings.Contains(err.Error(), "3 cells for 2 columns") {
+		t.Errorf("error %q does not describe the ragged row", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("Fprint wrote %q before rejecting the table", out.String())
+	}
+	if s := tab.String(); s != "" {
+		t.Errorf("String rendered an invalid table as %q", s)
+	}
+}

@@ -5,113 +5,28 @@ import (
 
 	"northstar/internal/cluster"
 	"northstar/internal/core"
-	"northstar/internal/node"
-	"northstar/internal/tech"
 )
 
 // E1TechCurves reproduces claim C1/C2: the device-technology curves —
 // "performance, capacity, power, size, and cost" — projected 2002–2012
-// from the 2002 anchors.
+// from the 2002 anchors. Spec-driven: the parameters live in the E1
+// ScenarioSpec (scenarios.go), the physics in the tech-curves model.
 func E1TechCurves() (*Table, error) {
-	r := tech.Default2002()
-	t := &Table{
-		ID:    "E1",
-		Title: "Device-technology curves, 2002-2012 (per commodity socket / dollar)",
-		Columns: []string{"year", "GF/socket", "$/GF(node)", "MB/$(dram)", "GB/s/socket(mem)",
-			"W/socket", "GB/$(disk)", "Gb/s(link)", "us(link-lat)"},
-		Notes: []string{
-			"expected shape: every column exponential; flops/$ doubles every ~20 months (Moore band)",
-			"memory bandwidth grows slower than flops: the memory wall that motivates PIM",
-		},
-	}
-	for year := 2002.0; year <= 2012; year += 2 {
-		t.AddRow(
-			fmt.Sprintf("%.0f", year),
-			r.At(tech.PeakFlopsPerSocket, year)/1e9,
-			1e9/r.At(tech.FlopsPerDollar, year),
-			r.At(tech.DRAMBytesPerDollar, year)/1e6,
-			r.At(tech.MemBandwidthPerSocket, year)/1e9,
-			r.At(tech.WattsPerSocket, year),
-			r.At(tech.DiskBytesPerDollar, year)/1e9,
-			r.At(tech.LinkBandwidth, year)/1e9,
-			r.At(tech.LinkLatency, year)*1e6,
-		)
-	}
-	return t, nil
+	return runScenarioByID("E1", false)
 }
 
 // E2FixedBudget reproduces claim C2 at the system level: what a fixed
 // $1M budget buys each year — the keynote's cost curve of future
-// commodity clusters.
+// commodity clusters. Spec-driven (E2, fixed-budget model).
 func E2FixedBudget() (*Table, error) {
-	r := tech.Default2002()
-	t := &Table{
-		ID:    "E2",
-		Title: "What $1M buys, 2002-2012 (conventional nodes, gigabit ethernet)",
-		Columns: []string{"year", "nodes", "peak-TF", "linpack-TF", "hpl-eff", "mem-TB",
-			"power-kW", "racks", "mtbf-days"},
-		Notes: []string{
-			"expected shape: ~x8-10 peak per 5 years at fixed budget",
-			"MTBF shrinks as the same money buys more nodes: fault recovery becomes mandatory",
-		},
-	}
-	for year := 2002.0; year <= 2012; year++ {
-		m, err := cluster.FitLargest(year, node.Conventional, "gigabit-ethernet", r,
-			cluster.Constraint{BudgetDollars: 1e6})
-		if err != nil {
-			return nil, err
-		}
-		sustained, eff := m.LinpackEstimate()
-		t.AddRow(
-			fmt.Sprintf("%.0f", year),
-			m.Spec.Nodes,
-			m.PeakFlops/1e12,
-			sustained/1e12,
-			eff,
-			m.MemBytes/1e12,
-			m.PowerWatts/1e3,
-			m.Racks,
-			float64(m.MTBF)/86400,
-		)
-	}
-	return t, nil
+	return runScenarioByID("E2", false)
 }
 
 // E3NodeArch reproduces claim C3: the architecture comparison —
 // conventional vs blade vs SMP-on-chip vs PIM — on the efficiency
-// metrics each was invented for.
+// metrics each was invented for. Spec-driven (E3, node-arch model).
 func E3NodeArch() (*Table, error) {
-	r := tech.Default2002()
-	t := &Table{
-		ID:    "E3",
-		Title: "Node architectures at 2002 / 2006 / 2010",
-		Columns: []string{"year", "arch", "cores", "GF/node", "GF/$k", "GF/W",
-			"GF/rackU", "B-per-flop", "nodes/rack"},
-		Notes: []string{
-			"expected shape: blade wins GF/rackU (~3x density); smp-on-chip wins GF/$ and GF/W once cores multiply (2005+)",
-			"PIM wins bytes-per-flop by ~an order of magnitude at lower peak: the memory-bound niche",
-		},
-	}
-	for _, year := range []float64{2002, 2006, 2010} {
-		for _, a := range node.Arches() {
-			m, err := node.Build(a, r, year)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(
-				fmt.Sprintf("%.0f", year),
-				string(a),
-				m.CoresPerSocket*m.Sockets,
-				m.PeakFlops/1e9,
-				m.FlopsPerDollar()*1e3/1e9,
-				m.FlopsPerWatt()/1e9,
-				m.FlopsPerRackUnit()/1e9,
-				m.BytesPerFlop(),
-				m.NodesPerRack(),
-			)
-		}
-	}
-	return t, nil
+	return runScenarioByID("E3", false)
 }
 
 // E11Petaflops reproduces claim C7: the trans-Petaflops crossing — the
