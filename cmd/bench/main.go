@@ -43,7 +43,12 @@ import (
 	"northstar/internal/topology"
 )
 
-// Report is the schema of BENCH_runner.json (northstar-bench/v5; the
+// benchSchema is the report schema version. v6 added the serve section
+// (scenario-service load: cached vs uncached qps and latency
+// percentiles, `bench -serve`).
+const benchSchema = "northstar-bench/v6"
+
+// Report is the schema of BENCH_runner.json (northstar-bench/v6; the
 // schema is documented in EXPERIMENTS.md). Kernel is the unobserved
 // (nil-probe) hot path; KernelProbed repeats the measurement with an
 // obs.KernelProbe attached, pinning the enabled-observability overhead
@@ -66,6 +71,7 @@ type Report struct {
 	Memory       MemoryRes     `json:"memory"`
 	Suite        SuiteRes      `json:"suite"`
 	Shards       ShardRes      `json:"shard_scaling"`
+	Serve        ServeRes      `json:"serve"`
 	LongPoles    LongPoleDelta `json:"long_pole_delta"`
 	Seed         *SeedRef      `json:"seed_baseline,omitempty"`
 }
@@ -218,6 +224,8 @@ func main() {
 		"regression-guard mode: measure spec_seconds only and fail if any long pole regresses >25% vs the committed baseline or the suite exceeds its budget")
 	probeGuard := flag.Bool("probeguard", false,
 		"probe-overhead guard mode: measure the fabric send chain nil-probe vs domain-probe and fail if the attached probe costs >10% per send")
+	serveBench := flag.Bool("serve", false,
+		"serve-benchmark mode: load-test the scenario service (cached and uncached traffic) and merge the serve section into the committed report")
 	baseline := flag.String("baseline", "BENCH_runner.json", "committed report the guard compares against")
 	flag.Parse()
 
@@ -227,9 +235,12 @@ func main() {
 	if *probeGuard {
 		os.Exit(runProbeGuard())
 	}
+	if *serveBench {
+		os.Exit(runServeBench(*baseline))
+	}
 
 	rep := Report{
-		Schema:    "northstar-bench/v5",
+		Schema:    benchSchema,
 		Generated: "go run ./cmd/bench (see scripts/bench.sh)",
 		Host: HostInfo{
 			Go:         runtime.Version(),
@@ -292,19 +303,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bench: shard scaling (Monte Carlo engine)...\n")
 	rep.Shards = benchShards()
 
+	fmt.Fprintf(os.Stderr, "bench: scenario service load (cached + uncached)...\n")
+	rep.Serve = benchServe()
+
 	rep.LongPoles = poleDelta(rep.Suite.SequentialSeconds, rep.Suite.SpecSeconds)
 	printDelta(os.Stderr, rep.LongPoles)
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	enc = append(enc, '\n')
 	if *out == "-" {
-		os.Stdout.Write(enc)
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(enc, '\n'))
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := writeReport(*out, rep); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (kernel %.1f ns/event nil probe, %.1f probed, %.2f allocs/event; fabric %.1f -> %.1f ns/send probed; suite %.2fs -> %.2fs, %.2fx, eff %.2f; shards=1 overhead %+.1f%%)\n",
@@ -647,14 +660,9 @@ func printDelta(w io.Writer, d LongPoleDelta) {
 // are host-dependent, so the 25% margin plus the absolute budget — not
 // equality — is the contract.
 func runGuard(baselinePath string) int {
-	raw, err := os.ReadFile(baselinePath)
+	committed, err := loadReport(baselinePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench: guard: cannot read committed baseline: %v\n", err)
-		return 1
-	}
-	var committed Report
-	if err := json.Unmarshal(raw, &committed); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: guard: cannot parse %s: %v\n", baselinePath, err)
+		fmt.Fprintf(os.Stderr, "bench: guard: %v\n", err)
 		return 1
 	}
 	budget := committed.LongPoles.SuiteBudgetSeconds
@@ -689,6 +697,28 @@ func runGuard(baselinePath string) int {
 	fmt.Fprintf(os.Stderr, "bench: guard: ok (suite %.3f s within %.1f s budget, long poles within 25%% of committed)\n",
 		suiteSeconds, budget)
 	return 0
+}
+
+// loadReport reads a committed bench report.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("cannot read committed report: %w", err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("cannot parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// writeReport writes a bench report as indented JSON.
+func writeReport(path string, rep Report) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }
 
 func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

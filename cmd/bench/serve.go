@@ -1,0 +1,174 @@
+// The serve benchmark: a load generator for the scenario service
+// (northstar serve). It stands a server up in-process behind a real
+// HTTP listener, warms the result cache with the whole scenario
+// inventory, then measures two traffic classes separately: cached
+// queries (round-robin over warmed keys — the content-addressed LRU's
+// fast path) and uncached queries (unique seed overrides, every one a
+// cache miss that runs the interpreter). qps and latency percentiles
+// for both go into the report's serve section (northstar-bench/v6).
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"northstar/internal/experiments"
+	"northstar/internal/serve"
+)
+
+// ServeRes is the serve section of the bench report.
+type ServeRes struct {
+	Scenarios   int       `json:"scenarios"`
+	Clients     int       `json:"clients"`
+	PoolWorkers int       `json:"pool_workers"`
+	Cached      ServeLoad `json:"cached"`
+	Uncached    ServeLoad `json:"uncached"`
+}
+
+// ServeLoad is one traffic class's measurement: total requests, wall
+// clock across all clients, aggregate throughput, and client-observed
+// latency percentiles.
+type ServeLoad struct {
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// benchServe measures the scenario service over a real TCP listener:
+// clients goroutines, each with a keep-alive connection, issuing
+// sequential POST /v1/scenario requests.
+func benchServe() ServeRes {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ids := make([]string, 0, len(experiments.Scenarios()))
+	for _, sc := range experiments.Scenarios() {
+		ids = append(ids, sc.ID)
+	}
+
+	const clients = 8
+	res := ServeRes{
+		Scenarios:   len(ids),
+		Clients:     clients,
+		PoolWorkers: 0, // serve.Config default: GOMAXPROCS
+	}
+
+	// Warm every key once so the cached class measures only hits.
+	for _, id := range ids {
+		postServe(ts, fmt.Sprintf(`{"id":%q,"quick":true}`, id))
+	}
+
+	// Cached: round-robin over the warmed inventory.
+	cached := func(client, i int) string {
+		return fmt.Sprintf(`{"id":%q,"quick":true}`, ids[(client*31+i)%len(ids)])
+	}
+	res.Cached = serveLoad(ts, clients, 1000, cached)
+
+	// Uncached: unique seed overrides on the cheapest analytic spec —
+	// every request is a distinct content address, so every request
+	// runs the interpreter. Client c, request i gets seed 1e6+c*1e5+i,
+	// disjoint from anything warmed above.
+	uncached := func(client, i int) string {
+		return fmt.Sprintf(`{"id":"E1","quick":true,"seed":%d}`, 1_000_000+client*100_000+i)
+	}
+	res.Uncached = serveLoad(ts, clients, 50, uncached)
+
+	if st := srv.CacheStats(); st.Hits < int64(res.Cached.Requests) {
+		fatal(fmt.Errorf("serve bench: cached phase was not served from cache: %+v", st))
+	}
+	return res
+}
+
+// serveLoad drives perClient requests from each of clients goroutines
+// and aggregates throughput and latency. body(client, i) names the
+// request each slot sends.
+func serveLoad(ts *httptest.Server, clients, perClient int, body func(client, i int) string) ServeLoad {
+	total := clients * perClient
+	durations := make([]time.Duration, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				postServe(ts, body(c, i))
+				durations[c*perClient+i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(total-1))
+		return round3(float64(durations[idx].Nanoseconds()) / 1e6)
+	}
+	return ServeLoad{
+		Requests: total,
+		Seconds:  round3(elapsed),
+		QPS:      round3(float64(total) / elapsed),
+		P50Ms:    pct(0.50),
+		P95Ms:    pct(0.95),
+		P99Ms:    pct(0.99),
+	}
+}
+
+// postServe issues one scenario request and dies on anything but 200 —
+// a bench run against a misbehaving server measures nothing.
+func postServe(ts *httptest.Server, body string) {
+	resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", strings.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("serve bench: %s -> %d: %s", body, resp.StatusCode, data))
+	}
+}
+
+// runServeBench is `bench -serve`: measure only the serve section and
+// merge it into the committed report, leaving every other section's
+// numbers untouched. Exits nonzero if cached throughput falls below
+// the 1000 qps floor the service is specified to.
+func runServeBench(reportPath string) int {
+	rep, err := loadReport(reportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "bench: serve: scenario service load (cached + uncached)...\n")
+	rep.Schema = benchSchema
+	rep.Serve = benchServe()
+	if err := writeReport(reportPath, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: serve: %v\n", err)
+		return 1
+	}
+	s := rep.Serve
+	fmt.Fprintf(os.Stderr, "bench: serve: cached %d reqs %.0f qps (p50 %.2f ms, p95 %.2f ms, p99 %.2f ms); uncached %d reqs %.0f qps (p99 %.2f ms)\n",
+		s.Cached.Requests, s.Cached.QPS, s.Cached.P50Ms, s.Cached.P95Ms, s.Cached.P99Ms,
+		s.Uncached.Requests, s.Uncached.QPS, s.Uncached.P99Ms)
+	if s.Cached.QPS < 1000 {
+		fmt.Fprintf(os.Stderr, "bench: serve: cached throughput %.0f qps below the 1000 qps floor\n", s.Cached.QPS)
+		return 1
+	}
+	return 0
+}

@@ -9,6 +9,7 @@
 //	northstar schedule [-nodes 128] [-jobs 2000] [-load 0.85] [-policy all]
 //	northstar faults   [-nodes 4096] [-work 168] [-delta 5]
 //	northstar explore  [-budget 20e6] [-target 1e15] [-year 2010]
+//	northstar serve    [-addr 127.0.0.1:8424] [-cache-mb 64] [-pool 0]
 //
 // Every number it prints is virtual-time simulation or analytic
 // projection; runs are deterministic given -seed.
@@ -53,6 +54,8 @@ func main() {
 		err = cmdFaults(args)
 	case "explore":
 		err = cmdExplore(args)
+	case "serve":
+		err = cmdServe(args)
 	case "topo":
 		err = cmdTopo(args)
 	case "frontier":
@@ -78,6 +81,7 @@ commands:
   schedule   compare batch-scheduling policies on a synthetic trace
   faults     MTBF, availability, and checkpoint planning at scale
   explore    trans-petaflops crossings and the innovation waterfall
+  serve      scenario service: HTTP/JSON daemon with a result cache
   topo       interconnect topology metrics and failure analysis
   frontier   the Pareto menu of buildable configurations at a year
 

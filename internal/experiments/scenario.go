@@ -420,6 +420,15 @@ func (s *ScenarioSpec) points(quick bool) []axisPoint {
 // (sequential) evaluate rows in order against the state their setup
 // built. Either way rows land in sweep order.
 func (s *ScenarioSpec) Run(quick bool) (*Table, error) {
+	return s.RunOn(mc.Default(), quick)
+}
+
+// RunOn is Run on an explicit mc pool: the caller owns the CPU budget.
+// `northstar serve` uses this to run request-scoped interpretations on
+// a server-owned pool instead of the process default, so concurrent
+// requests share one bounded set of helpers. A nil pool runs rows
+// inline on the calling goroutine; the bytes are identical either way.
+func (s *ScenarioSpec) RunOn(p *mc.Pool, quick bool) (*Table, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -462,7 +471,7 @@ func (s *ScenarioSpec) Run(quick bool) (*Table, error) {
 	}
 	rows := make([][]any, len(pts))
 	errs := make([]error, len(pts))
-	mc.ForEach(mc.Default(), len(pts), func(i int) {
+	mc.ForEach(p, len(pts), func(i int) {
 		rows[i], errs[i] = m.row(env, nil, pts[i])
 	})
 	for i := range pts {

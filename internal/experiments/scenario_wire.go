@@ -1,0 +1,137 @@
+// Scenario wire helpers: the pieces `northstar serve` needs to treat a
+// ScenarioSpec as a cacheable request. A served result is a pure
+// function of (spec, params, seed, mode), so the service content-
+// addresses results by the sha256 of the spec's canonical JSON plus a
+// mode tag — the same hashing discipline the golden MANIFEST applies to
+// table bytes. Clone/WithOverrides give the service a safe way to apply
+// per-request parameter and seed overrides to a registered spec without
+// mutating the shared inventory.
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Clone returns a deep copy of the spec: maps and slices are copied, so
+// mutating the clone (override application, test vandalism) never
+// touches the original. A nil spec clones to nil.
+func (s *ScenarioSpec) Clone() *ScenarioSpec {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Columns = append([]string(nil), s.Columns...)
+	cp.Notes = append([]string(nil), s.Notes...)
+	if s.Params != nil {
+		cp.Params = make(map[string]float64, len(s.Params))
+		for k, v := range s.Params {
+			cp.Params[k] = v
+		}
+	}
+	if s.Quick != nil {
+		cp.Quick = make(map[string]float64, len(s.Quick))
+		for k, v := range s.Quick {
+			cp.Quick[k] = v
+		}
+	}
+	if s.Options != nil {
+		cp.Options = make(map[string]string, len(s.Options))
+		for k, v := range s.Options {
+			cp.Options[k] = v
+		}
+	}
+	cp.Sweep = make([]Axis, len(s.Sweep))
+	for i, ax := range s.Sweep {
+		cp.Sweep[i] = Axis{
+			Name:   ax.Name,
+			Values: append([]string(nil), ax.Values...),
+			Quick:  append([]string(nil), ax.Quick...),
+			Cols:   ax.Cols,
+		}
+	}
+	return &cp
+}
+
+// WithOverrides returns a clone of the spec with the given parameter
+// overrides merged into Params and, when seed is non-nil, the seed
+// replaced. It applies blindly — the caller validates the result, so an
+// override naming an undeclared parameter or pushing a value out of
+// range fails through the same Validate trust boundary as any other
+// hostile spec.
+func (s *ScenarioSpec) WithOverrides(params map[string]float64, seed *int64) *ScenarioSpec {
+	cp := s.Clone()
+	if len(params) > 0 {
+		if cp.Params == nil {
+			cp.Params = make(map[string]float64, len(params))
+		}
+		for k, v := range params {
+			cp.Params[k] = v
+		}
+	}
+	if seed != nil {
+		cp.Seed = *seed
+	}
+	return cp
+}
+
+// canonical returns the spec shaped for content addressing: a clone
+// with empty maps and slices normalized to nil, so a spec decoded from
+// `"params": {}` hashes identically to one that omitted the field.
+// Struct field order is fixed and encoding/json emits map keys sorted,
+// so the canonical form has exactly one JSON encoding.
+func (s *ScenarioSpec) canonical() *ScenarioSpec {
+	cp := s.Clone()
+	if len(cp.Columns) == 0 {
+		cp.Columns = nil
+	}
+	if len(cp.Notes) == 0 {
+		cp.Notes = nil
+	}
+	if len(cp.Params) == 0 {
+		cp.Params = nil
+	}
+	if len(cp.Quick) == 0 {
+		cp.Quick = nil
+	}
+	if len(cp.Options) == 0 {
+		cp.Options = nil
+	}
+	if len(cp.Sweep) == 0 {
+		cp.Sweep = nil
+	}
+	for i := range cp.Sweep {
+		if len(cp.Sweep[i].Values) == 0 {
+			cp.Sweep[i].Values = nil
+		}
+		if len(cp.Sweep[i].Quick) == 0 {
+			cp.Sweep[i].Quick = nil
+		}
+	}
+	return cp
+}
+
+// Fingerprint returns the content address of one interpretation of the
+// spec: the hex sha256 of its canonical JSON followed by a mode tag
+// ("\x00quick" or "\x00full"). Every knob that can move a table cell —
+// model, params with quick overrides, options, sweep values, seed,
+// title, notes — is inside the hash, so two requests share a
+// fingerprint exactly when the interpreter would hand them identical
+// bytes. The scheduling hint Cost rides along in the hash; over-keying
+// on a hint splits cache entries at worst, it never aliases them.
+func (s *ScenarioSpec) Fingerprint(quick bool) (string, error) {
+	enc, err := json.Marshal(s.canonical())
+	if err != nil {
+		return "", fmt.Errorf("experiments: fingerprint %s: %w", s.ID, err)
+	}
+	h := sha256.New()
+	h.Write(enc)
+	if quick {
+		h.Write([]byte("\x00quick"))
+	} else {
+		h.Write([]byte("\x00full"))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

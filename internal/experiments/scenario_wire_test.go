@@ -1,0 +1,155 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"northstar/internal/experiments"
+)
+
+// TestCloneIsDeep: mutating every mutable field of a clone must leave
+// the original untouched — the serve inventory depends on it.
+func TestCloneIsDeep(t *testing.T) {
+	base, err := experiments.ScenarioByID("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := base.Clone() // reference copy to diff against
+	cp := base.Clone()
+
+	cp.ID = "vandal"
+	cp.Seed += 1000
+	if len(cp.Columns) > 0 {
+		cp.Columns[0] = "vandalized"
+	}
+	for k := range cp.Params {
+		cp.Params[k] = -1
+	}
+	for k := range cp.Options {
+		cp.Options[k] = "vandalized"
+	}
+	for i := range cp.Sweep {
+		if len(cp.Sweep[i].Values) > 0 {
+			cp.Sweep[i].Values[0] = "vandalized"
+		}
+	}
+
+	a, err := base.Fingerprint(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := orig.Fingerprint(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("mutating a clone changed the original spec's fingerprint")
+	}
+	if base.ID != orig.ID || base.Seed != orig.Seed {
+		t.Error("clone shares scalar state with the original")
+	}
+
+	var nilSpec *experiments.ScenarioSpec
+	if nilSpec.Clone() != nil {
+		t.Error("nil spec must clone to nil")
+	}
+}
+
+// TestWithOverrides: params merge on top of declared params, a nil seed
+// keeps the registered one, a non-nil seed replaces it, and the
+// receiver is never mutated.
+func TestWithOverrides(t *testing.T) {
+	base, err := experiments.ScenarioByID("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeed := base.Seed
+	wantReps := base.Params["reps"]
+
+	seed := int64(777)
+	over := base.WithOverrides(map[string]float64{"reps": 3}, &seed)
+	if over.Params["reps"] != 3 || over.Seed != 777 {
+		t.Errorf("override not applied: reps=%v seed=%d", over.Params["reps"], over.Seed)
+	}
+	if base.Params["reps"] != wantReps || base.Seed != wantSeed {
+		t.Error("WithOverrides mutated the registered spec")
+	}
+
+	same := base.WithOverrides(nil, nil)
+	fpBase, _ := base.Fingerprint(false)
+	fpSame, _ := same.Fingerprint(false)
+	if fpBase != fpSame {
+		t.Error("empty override changed the fingerprint")
+	}
+}
+
+// TestFingerprintProperties pins the content-address discipline: stable
+// across encodings of the same interpretation, distinct across every
+// knob that can move a table cell.
+func TestFingerprintProperties(t *testing.T) {
+	base, err := experiments.ScenarioByID("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := func(s *experiments.ScenarioSpec, quick bool) string {
+		t.Helper()
+		h, err := s.Fingerprint(quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	// Stability: clones and empty-container normalization hash alike.
+	if fp(base, true) != fp(base.Clone(), true) {
+		t.Error("a clone fingerprints differently")
+	}
+	norm := base.Clone()
+	if norm.Params == nil {
+		norm.Params = map[string]float64{}
+	}
+	if norm.Options == nil {
+		norm.Options = map[string]string{}
+	}
+	if fp(base, true) != fp(norm, true) {
+		t.Error("empty containers are not canonicalized out of the hash")
+	}
+
+	// Sensitivity: every knob moves the address.
+	seen := map[string]string{fp(base, true): "base/quick"}
+	check := func(name string, s *experiments.ScenarioSpec, quick bool) {
+		t.Helper()
+		h := fp(s, quick)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[h] = name
+	}
+	check("base/full", base, false)
+	seed := int64(4242)
+	check("seed", base.WithOverrides(nil, &seed), true)
+	mutant := base.Clone()
+	mutant.Model = "fixed-budget"
+	check("model", mutant, true)
+	mutant = base.Clone()
+	mutant.Title += "!"
+	check("title", mutant, true)
+	if len(base.Sweep) > 0 && len(base.Sweep[0].Values) > 0 {
+		mutant = base.Clone()
+		mutant.Sweep[0].Values[0] += "0"
+		check("sweep-value", mutant, true)
+	}
+
+	// The inventory itself must be collision-free — ten scenarios,
+	// twenty interpretations, twenty distinct addresses.
+	inventory := map[string]string{}
+	for _, sc := range experiments.Scenarios() {
+		for _, quick := range []bool{true, false} {
+			name := sc.ID + map[bool]string{true: "/quick", false: "/full"}[quick]
+			h := fp(sc, quick)
+			if prev, dup := inventory[h]; dup {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+			inventory[h] = name
+		}
+	}
+}

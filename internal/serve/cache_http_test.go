@@ -1,0 +1,186 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"northstar/internal/experiments"
+	"northstar/internal/serve"
+)
+
+// TestCacheMetamorphicIdentity is the cache's core obligation stated as
+// a metamorphic relation: the body served on a cold miss, the body
+// served from cache, and a table computed fresh in-process must all
+// agree — a client cannot tell whether the cache exists.
+func TestCacheMetamorphicIdentity(t *testing.T) {
+	srv, ts := newServer(t, serve.Config{})
+	for _, id := range []string{"E1", "E5", "E9"} {
+		req := fmt.Sprintf(`{"id":%q,"quick":true}`, id)
+		respCold, cold := post(t, ts, req)
+		respWarm, warm := post(t, ts, req)
+		if respCold.StatusCode != http.StatusOK || respWarm.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d/%d", id, respCold.StatusCode, respWarm.StatusCode)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Errorf("%s: cached body differs from cold body", id)
+		}
+
+		// A fresh in-process interpretation of the registered spec must
+		// render the exact table the service returned both times.
+		sc, err := experiments.ScenarioByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := sc.Run(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decodeResponse(t, warm).Table; got != tbl.String() {
+			t.Errorf("%s: served table differs from a fresh in-process run", id)
+		}
+	}
+	st := srv.CacheStats()
+	if st.Hits != 3 || st.Misses != 3 {
+		t.Errorf("cache stats after 3 pairs: %+v", st)
+	}
+}
+
+// TestCacheKeySensitivity: any change to the interpreted tuple — seed,
+// a parameter, or the quick/full mode — must address a different entry,
+// while byte-identical requests share one.
+func TestCacheKeySensitivity(t *testing.T) {
+	srv, ts := newServer(t, serve.Config{})
+	reqs := []string{
+		`{"id":"E5","quick":true}`,
+		`{"id":"E5","quick":true,"seed":7}`,
+		`{"id":"E5","quick":true,"params":{"reps":12}}`,
+	}
+	keys := make(map[string]string)
+	for _, req := range reqs {
+		resp, data := post(t, ts, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", req, resp.StatusCode, data)
+		}
+		if c := resp.Header.Get(serve.CacheHeader); c != "miss" {
+			t.Errorf("%s: cache %q, want miss", req, c)
+		}
+		key := resp.Header.Get(serve.KeyHeader)
+		for prev, prevKey := range keys {
+			if prevKey == key {
+				t.Errorf("requests %s and %s share key %s", prev, req, key)
+			}
+		}
+		keys[req] = key
+	}
+	// Same tuple re-requested: each is a hit on its own entry.
+	for _, req := range reqs {
+		resp, _ := post(t, ts, req)
+		if c := resp.Header.Get(serve.CacheHeader); c != "hit" {
+			t.Errorf("%s repeat: cache %q, want hit", req, c)
+		}
+		if key := resp.Header.Get(serve.KeyHeader); key != keys[req] {
+			t.Errorf("%s repeat: key drifted", req)
+		}
+	}
+	if st := srv.CacheStats(); st.Misses != 3 || st.Hits != 3 || st.Entries != 3 {
+		t.Errorf("cache stats: %+v", st)
+	}
+}
+
+// TestCacheEvictionOverHTTP sizes a budget that holds either response
+// body alone but not both, then alternates keys: every request after
+// the first pair must be a miss again, with evictions visible in both
+// CacheStats and the serve metrics scope.
+func TestCacheEvictionOverHTTP(t *testing.T) {
+	// Measure the two body sizes on a throwaway server first.
+	_, probe := newServer(t, serve.Config{})
+	reqA := `{"id":"E1","quick":true}`
+	reqB := `{"id":"E9","quick":true}`
+	_, bodyA := post(t, probe, reqA)
+	_, bodyB := post(t, probe, reqB)
+
+	budget := int64(len(bodyA))
+	if int64(len(bodyB)) > budget {
+		budget = int64(len(bodyB))
+	}
+	budget += int64(min(len(bodyA), len(bodyB))) / 2
+
+	srv, ts := newServer(t, serve.Config{CacheBytes: budget})
+	expect := func(req, want string) {
+		t.Helper()
+		resp, _ := post(t, ts, req)
+		if c := resp.Header.Get(serve.CacheHeader); c != want {
+			t.Errorf("%s: cache %q, want %q", req, c, want)
+		}
+	}
+	expect(reqA, "miss")
+	expect(reqA, "hit")  // fits alone
+	expect(reqB, "miss") // evicts A
+	expect(reqA, "miss") // evicts B
+	expect(reqB, "miss") // evicts A again
+
+	st := srv.CacheStats()
+	if st.Evictions < 3 {
+		t.Errorf("expected at least 3 evictions, got %+v", st)
+	}
+	if st.Entries != 1 || st.Bytes > budget {
+		t.Errorf("occupancy exceeds budget: %+v (budget %d)", st, budget)
+	}
+	if n := srv.Registry().Scope("serve").Counter("evictions"); n != st.Evictions {
+		t.Errorf("metrics evictions %d != cache evictions %d", n, st.Evictions)
+	}
+}
+
+// TestInflightCollapseOverHTTP drives concurrent identical requests at
+// pool width 1 — the first occupies the only worker, so at least some
+// of the rest must join its flight rather than recompute. The property
+// checked is conservation: every request is exactly one of
+// miss/hit/collapsed, bodies are all identical, and the collapsed
+// count lands in the metrics scope.
+func TestInflightCollapseOverHTTP(t *testing.T) {
+	const clients = 8
+	srv, ts := newServer(t, serve.Config{PoolWorkers: 1})
+	req := `{"id":"E10","quick":true}`
+
+	type result struct {
+		status int
+		cache  string
+		body   []byte
+	}
+	results := make(chan result, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, data := post(t, ts, req)
+			results <- result{resp.StatusCode, resp.Header.Get(serve.CacheHeader), data}
+		}()
+	}
+	var first []byte
+	counts := map[string]int{}
+	for i := 0; i < clients; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("status %d: %s", r.status, r.body)
+		}
+		counts[r.cache]++
+		if first == nil {
+			first = r.body
+		} else if !bytes.Equal(first, r.body) {
+			t.Error("concurrent identical requests returned different bodies")
+		}
+	}
+	if counts["miss"] != 1 {
+		t.Errorf("want exactly one computing leader, got %v", counts)
+	}
+	if counts["miss"]+counts["hit"]+counts["collapsed"] != clients {
+		t.Errorf("unaccounted requests: %v", counts)
+	}
+	st := srv.CacheStats()
+	if st.Misses != 1 || st.Hits+st.Collapsed != clients-1 {
+		t.Errorf("cache stats: %+v", st)
+	}
+	if n := srv.Registry().Scope("serve").Counter("inflight_collapsed"); n != st.Collapsed {
+		t.Errorf("metrics collapsed %d != cache collapsed %d", n, st.Collapsed)
+	}
+}

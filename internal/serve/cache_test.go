@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fill returns a body of n bytes for key-sized accounting tests.
+func fill(b byte, n int) []byte {
+	return bytes.Repeat([]byte{b}, n)
+}
+
+// mustGet runs getOrCompute with a compute that must not be called.
+func mustGet(t *testing.T, c *resultCache, key string) ([]byte, source) {
+	t.Helper()
+	body, src, err := c.getOrCompute(key, func() ([]byte, error) {
+		t.Fatalf("key %q: compute ran on what should be a hit", key)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, src
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(100)
+	put := func(key string, body []byte) {
+		t.Helper()
+		_, src, err := c.getOrCompute(key, func() ([]byte, error) { return body, nil })
+		if err != nil || src != srcMiss {
+			t.Fatalf("put %q: src=%v err=%v", key, src, err)
+		}
+	}
+
+	put("a", fill('a', 40))
+	put("b", fill('b', 40))
+	if st := c.Stats(); st.Entries != 2 || st.Bytes != 80 || st.Evictions != 0 {
+		t.Fatalf("after two inserts: %+v", st)
+	}
+
+	// Touch a so b becomes least recently used, then overflow: b must go.
+	mustGet(t, c, "a")
+	put("c", fill('c', 40))
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	if _, src := mustGet(t, c, "a"); src != srcHit {
+		t.Error("recently used entry was evicted")
+	}
+	if _, src := mustGet(t, c, "c"); src != srcHit {
+		t.Error("new entry was evicted")
+	}
+	recomputed := false
+	c.getOrCompute("b", func() ([]byte, error) { recomputed = true; return fill('b', 40), nil })
+	if !recomputed {
+		t.Error("LRU victim was still served from cache")
+	}
+}
+
+func TestCacheOversizedBodyNotStored(t *testing.T) {
+	c := newResultCache(100)
+	body, src, err := c.getOrCompute("big", func() ([]byte, error) { return fill('x', 101), nil })
+	if err != nil || src != srcMiss || len(body) != 101 {
+		t.Fatalf("oversized compute: src=%v err=%v len=%d", src, err, len(body))
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("body larger than the whole budget was stored: %+v", st)
+	}
+	// The caller still got the body; only caching is skipped.
+	c.getOrCompute("big", func() ([]byte, error) { return fill('x', 101), nil })
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("oversized key should recompute every time: %+v", st)
+	}
+}
+
+// TestCacheSingleflight makes the collapse deterministic: the leader's
+// compute blocks on a gate while N followers arrive; every follower
+// must be counted as collapsed before the gate opens, and all callers
+// get bit-identical bodies from exactly one computation.
+func TestCacheSingleflight(t *testing.T) {
+	const followers = 4
+	c := newResultCache(1 << 20)
+	gate := make(chan struct{})
+	computes := 0
+
+	var wg sync.WaitGroup
+	results := make([][]byte, followers+1)
+	sources := make([]source, followers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], sources[0], _ = c.getOrCompute("k", func() ([]byte, error) {
+			computes++
+			<-gate
+			return fill('k', 64), nil
+		})
+	}()
+
+	// Wait for the leader to take the flight slot, then pile on.
+	waitFor(t, func() bool { return c.Stats().Misses == 1 })
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], sources[i], _ = c.getOrCompute("k", func() ([]byte, error) {
+				t.Error("follower became a second leader")
+				return nil, nil
+			})
+		}(i)
+	}
+
+	// Collapse is counted at join time — observable before completion.
+	waitFor(t, func() bool { return c.Stats().Collapsed == followers })
+	close(gate)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("compute ran %d times", computes)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Collapsed != followers || st.Entries != 1 {
+		t.Errorf("stats after collapse: %+v", st)
+	}
+	leaders, collapsed := 0, 0
+	for i, src := range sources {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("caller %d saw a different body", i)
+		}
+		switch src {
+		case srcMiss:
+			leaders++
+		case srcCollapsed:
+			collapsed++
+		}
+	}
+	if leaders != 1 || collapsed != followers {
+		t.Errorf("leaders=%d collapsed=%d", leaders, collapsed)
+	}
+}
+
+// TestCacheErrorsNeverCached: a failing compute propagates its error to
+// the leader and every joined caller, leaves no entry behind, and the
+// next request for the key computes afresh.
+func TestCacheErrorsNeverCached(t *testing.T) {
+	c := newResultCache(1 << 20)
+	boom := errors.New("model refused")
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, errs[0] = c.getOrCompute("k", func() ([]byte, error) { <-gate; return nil, boom })
+	}()
+	waitFor(t, func() bool { return c.Stats().Misses == 1 })
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.getOrCompute("k", func() ([]byte, error) { return nil, boom })
+		}(i)
+	}
+	waitFor(t, func() bool { return c.Stats().Collapsed == 2 })
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller %d: err=%v, want the leader's error", i, err)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed computation was cached: %+v", st)
+	}
+
+	// The key is not poisoned: a retry computes and can succeed.
+	body, src, err := c.getOrCompute("k", func() ([]byte, error) { return fill('k', 8), nil })
+	if err != nil || src != srcMiss || len(body) != 8 {
+		t.Errorf("retry after failure: src=%v err=%v", src, err)
+	}
+}
+
+// waitFor polls cond with a deadline; the singleflight tests use it to
+// sequence goroutines on observable counter state rather than sleeps.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheDistinctKeysDoNotCollapse guards the inverse property: work
+// on different keys proceeds independently even while one key's
+// computation is blocked.
+func TestCacheDistinctKeysDoNotCollapse(t *testing.T) {
+	c := newResultCache(1 << 20)
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.getOrCompute("slow", func() ([]byte, error) { <-gate; return fill('s', 4), nil })
+	}()
+	waitFor(t, func() bool { return c.Stats().Misses == 1 })
+
+	// A different key must not queue behind the blocked flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, src, err := c.getOrCompute("fast", func() ([]byte, error) { return fill('f', 4), nil })
+		if err != nil || src != srcMiss || len(body) != 4 {
+			t.Errorf("fast key: src=%v err=%v", src, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("distinct key blocked behind an unrelated in-flight computation")
+	}
+	close(gate)
+	wg.Wait()
+	if st := c.Stats(); st.Collapsed != 0 || st.Misses != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func Example_sourceString() {
+	fmt.Println(srcMiss, srcHit, srcCollapsed)
+	// Output: miss hit collapsed
+}

@@ -1,0 +1,147 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"northstar/internal/experiments"
+	"northstar/internal/serve"
+)
+
+// FuzzServeScenario throws arbitrary bodies at POST /v1/scenario and
+// holds the endpoint to its contract: every input is either rejected
+// with a 4xx JSON error, refused at run time with 422, or answered with
+// a well-formed 200 whose body is deterministic — re-posting the same
+// bytes returns the same bytes, so no input can poison the cache.
+// Expensive-but-valid specs are filtered the same way FuzzScenarioSpec
+// filters them (cheap analytic models, bounded row counts) so the
+// fuzzer never stalls on a legitimate big sweep.
+func FuzzServeScenario(f *testing.F) {
+	// Seed with the whole inventory both ways (by id and by inline
+	// spec), then with one representative of each rejection class.
+	for _, sc := range experiments.Scenarios() {
+		f.Add(fmt.Sprintf(`{"id":%q,"quick":true}`, sc.ID))
+		enc, err := json.Marshal(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fmt.Sprintf(`{"spec":%s,"quick":true}`, enc))
+	}
+	f.Add(`not json at all`)
+	f.Add(`{"id":"E1","quick":true}{"id":"E2"}`)
+	f.Add(`{"id":"E1","spec":{"id":"E1"}}`)
+	f.Add(`{}`)
+	f.Add(`{"id":"E99","quick":true}`)
+	f.Add(`{"id":"E1","params":{"warp":9}}`)
+	f.Add(`{"id":"E2","quick":true,"params":{"budget-dollars":1}}`)
+	f.Add(`{"spec":{"id":"Z1","model":"pingpong","params":{"reps":1e300}}}`)
+	f.Add(`{"id":"E1","quick":true,"seed":-9223372036854775808}`)
+
+	srv := serve.New(serve.Config{MaxBodyBytes: 8 << 10})
+	f.Cleanup(srv.Close)
+	handler := srv.Handler()
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		if !affordable(raw) {
+			return
+		}
+		watch := make(chan struct{})
+		go func() {
+			select {
+			case <-watch:
+			case <-time.After(10 * time.Second):
+				panic(fmt.Sprintf("hang on input: %q", raw))
+			}
+		}()
+		defer close(watch)
+		first := postRaw(t, handler, raw)
+		switch {
+		case first.Code == http.StatusOK:
+			var r serve.Response
+			if err := json.Unmarshal(first.Body.Bytes(), &r); err != nil {
+				t.Fatalf("200 body does not decode: %v", err)
+			}
+			if _, err := hex.DecodeString(r.Key); err != nil || len(r.Key) != 64 {
+				t.Fatalf("200 body carries key %q, not a sha256 digest", r.Key)
+			}
+			if r.Key != first.Header().Get(serve.KeyHeader) {
+				t.Fatal("body key and header key disagree")
+			}
+			if r.Metrics.TableBytes != len(r.Table) || r.Metrics.Rows < 1 || r.Metrics.Columns < 1 {
+				t.Fatalf("metrics %+v inconsistent with a %d-byte table", r.Metrics, len(r.Table))
+			}
+			// Determinism / no cache poisoning: the same bytes in must
+			// produce the same bytes out, now from cache or a collapsed
+			// flight — never a differently computed body.
+			second := postRaw(t, handler, raw)
+			if second.Code != http.StatusOK || !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+				t.Fatalf("request is not deterministic: %d then %d, bodies equal=%v",
+					first.Code, second.Code, bytes.Equal(first.Body.Bytes(), second.Body.Bytes()))
+			}
+		case first.Code >= 400 && first.Code < 500, first.Code == http.StatusUnprocessableEntity:
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(first.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("%d response without a JSON error body: %q", first.Code, first.Body.String())
+			}
+		default:
+			t.Fatalf("status %d outside the contract: %q", first.Code, first.Body.String())
+		}
+	})
+}
+
+// postRaw drives the handler directly — no sockets, so the fuzzer runs
+// at full rate.
+func postRaw(t *testing.T, handler http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/scenario", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	handler.ServeHTTP(w, req)
+	return w
+}
+
+// affordable replicates the server's resolution just far enough to
+// predict whether the request would actually run a model, and if so
+// whether that model is in the cheap analytic set FuzzScenarioSpec
+// also restricts itself to. Bodies the server will reject without
+// running anything are always affordable — the rejection path is
+// exactly what the fuzzer should exercise.
+func affordable(raw string) bool {
+	var req serve.Request
+	dec := json.NewDecoder(bytes.NewReader([]byte(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || dec.More() {
+		return true // server rejects with 400 before running
+	}
+	var spec *experiments.ScenarioSpec
+	switch {
+	case req.ID != "" && req.Spec == nil:
+		base, err := experiments.ScenarioByID(req.ID)
+		if err != nil {
+			return true // 404 path
+		}
+		spec = base.WithOverrides(req.Params, req.Seed)
+	case req.Spec != nil && req.ID == "":
+		spec = req.Spec.WithOverrides(req.Params, req.Seed)
+	default:
+		return true // 400 path: exactly one of id/spec
+	}
+	if spec.Validate() != nil {
+		return true // 400 path
+	}
+	if spec.RowCount(req.Quick) > 64 {
+		return false
+	}
+	switch spec.Model {
+	case "tech-curves", "fixed-budget", "node-arch":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"northstar/internal/serve"
+)
+
+// TestServeSoakBitIdentical hammers one server per pool width with a
+// mix of identical and distinct requests from many goroutines and
+// asserts the invariant the cache design rests on: the body is a pure
+// function of the content-address key. Every response carrying the same
+// key must be bit-identical — within a width, across goroutines, and
+// across pool widths 1, 2, and 8. Run under -race this also soaks the
+// cache mutex, the singleflight paths, and the metrics registry.
+func TestServeSoakBitIdentical(t *testing.T) {
+	// Cheap, deterministic request mix: repeated IDs force hit and
+	// collapse traffic, seed/param overrides force distinct keys.
+	reqs := []string{
+		`{"id":"E1","quick":true}`,
+		`{"id":"E3","quick":true}`,
+		`{"id":"E5","quick":true}`,
+		`{"id":"E5","quick":true,"seed":99}`,
+		`{"id":"E5","quick":true,"params":{"reps":12}}`,
+		`{"id":"E9","quick":true}`,
+		`{"id":"E10","quick":true}`,
+		`{"id":"E1","quick":true}`, // duplicate on purpose: more contention per key
+	}
+
+	const (
+		goroutines = 16
+		perG       = 12
+	)
+
+	// bodyByKey accumulates across all widths; a key that reappears at
+	// another pool width must map to the same bytes.
+	bodyByKey := make(map[string][]byte)
+	var mu sync.Mutex
+
+	for _, width := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("pool=%d", width), func(t *testing.T) {
+			srv, ts := newServer(t, serve.Config{PoolWorkers: width})
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						req := reqs[(g*31+i*7)%len(reqs)]
+						resp, err := http.Post(ts.URL+"/v1/scenario", "application/json", bytes.NewReader([]byte(req)))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						var buf bytes.Buffer
+						buf.ReadFrom(resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							t.Errorf("status %d for %s", resp.StatusCode, req)
+							continue
+						}
+						key := resp.Header.Get(serve.KeyHeader)
+						if key == "" {
+							t.Errorf("no key header for %s", req)
+							continue
+						}
+						mu.Lock()
+						if prev, ok := bodyByKey[key]; ok {
+							if !bytes.Equal(prev, buf.Bytes()) {
+								t.Errorf("key %s served two different bodies (pool=%d)", key, width)
+							}
+						} else {
+							bodyByKey[key] = buf.Bytes()
+						}
+						mu.Unlock()
+					}
+				}(g)
+			}
+			wg.Wait()
+
+			st := srv.CacheStats()
+			total := st.Hits + st.Misses + st.Collapsed
+			if total != goroutines*perG {
+				t.Errorf("cache accounted %d requests, sent %d: %+v", total, goroutines*perG, st)
+			}
+			// 7 distinct tuples in the mix → exactly 7 computations
+			// unless eviction intervened (budget is large, it cannot).
+			if st.Entries != 7 || st.Misses != 7 || st.Evictions != 0 {
+				t.Errorf("want exactly 7 computed entries, got %+v", st)
+			}
+		})
+	}
+
+	// Three widths hit the same seven tuples; the map must not have
+	// grown beyond them, proving keys (and bodies) agree across widths.
+	if len(bodyByKey) != 7 {
+		t.Errorf("saw %d distinct keys across pool widths, want 7", len(bodyByKey))
+	}
+}
