@@ -43,12 +43,16 @@ import (
 	"northstar/internal/topology"
 )
 
-// benchSchema is the report schema version. v6 added the serve section
+// benchSchema is the report schema version. v7 added the queue section
+// (event-queue backend comparison: heap vs calendar ns/event and
+// allocs/event under uniform, same-time-heavy, and bimodal scheduling
+// distributions at 1e4 and 1e6 pending) and rebased the long-pole
+// baseline to the committed v6 numbers. v6 added the serve section
 // (scenario-service load: cached vs uncached qps and latency
 // percentiles, `bench -serve`).
-const benchSchema = "northstar-bench/v6"
+const benchSchema = "northstar-bench/v7"
 
-// Report is the schema of BENCH_runner.json (northstar-bench/v6; the
+// Report is the schema of BENCH_runner.json (northstar-bench/v7; the
 // schema is documented in EXPERIMENTS.md). Kernel is the unobserved
 // (nil-probe) hot path; KernelProbed repeats the measurement with an
 // obs.KernelProbe attached, pinning the enabled-observability overhead
@@ -56,10 +60,12 @@ const benchSchema = "northstar-bench/v6"
 // FabricProbed make the same nil-vs-attached claim for the model-level
 // domain probe on a packet-fabric send chain (`bench -probeguard`
 // holds the gap under 10%). Memory records bytes/node for machine+topology
-// builds at growing scale — the budget ROADMAP item 2 tracks. Shards
-// measures the Monte Carlo shard engine on the suite's slowest
-// replication loop. LongPoles records the long-pole attack (v3
-// baseline vs this run) — see LongPoleDelta.
+// builds at growing scale — the budget ROADMAP item 2 tracks. Queue
+// races the kernel's two event-queue backends (heap vs calendar) under
+// the scheduling distributions that separate them. Shards measures the
+// Monte Carlo shard engine on the suite's slowest replication loop.
+// LongPoles records the long-pole attack (committed v6 baseline vs this
+// run) — see LongPoleDelta.
 type Report struct {
 	Schema       string        `json:"schema"`
 	Generated    string        `json:"generated_by"`
@@ -69,11 +75,40 @@ type Report struct {
 	Fabric       KernelRes     `json:"fabric"`
 	FabricProbed KernelRes     `json:"fabric_probed"`
 	Memory       MemoryRes     `json:"memory"`
+	Queue        QueueRes      `json:"queue"`
 	Suite        SuiteRes      `json:"suite"`
 	Shards       ShardRes      `json:"shard_scaling"`
 	Serve        ServeRes      `json:"serve"`
 	LongPoles    LongPoleDelta `json:"long_pole_delta"`
 	Seed         *SeedRef      `json:"seed_baseline,omitempty"`
+}
+
+// QueueRes races the kernel's event-queue backends head to head: the
+// same steady-state churn (every fired event reschedules itself, so
+// depth stays constant) runs once on the 4-ary heap and once on the
+// calendar queue, per scheduling distribution and pending depth. The
+// distributions are the ones that separate the backends: uniform offsets
+// (the generic case), same-time-heavy (64 discrete slots, the
+// synchronized-collective shape where sorted-run appends shine), and
+// bimodal near/far (a dense working set plus far timers, the shape that
+// exercises the calendar's overflow heap and window slide). Depths 1e4
+// and 1e6 bracket the suite's kernels and the 10^5-10^6-node goal.
+type QueueRes struct {
+	Points []QueuePoint `json:"points"`
+}
+
+// QueuePoint is one distribution x depth comparison. Events counts fired
+// events in the measured phase (after a warm-up that lets the calendar's
+// arena and window ratchet to the workload); speedup is heap/calendar.
+type QueuePoint struct {
+	Distribution       string  `json:"distribution"`
+	Pending            int     `json:"pending"`
+	Events             int     `json:"events"`
+	HeapNsPerEvent     float64 `json:"heap_ns_per_event"`
+	CalNsPerEvent      float64 `json:"calendar_ns_per_event"`
+	HeapAllocsPerEvent float64 `json:"heap_allocs_per_event"`
+	CalAllocsPerEvent  float64 `json:"calendar_allocs_per_event"`
+	Speedup            float64 `json:"calendar_speedup"`
 }
 
 // MemoryRes reports heap cost per simulated node for machine builds at
@@ -137,9 +172,9 @@ type LongPole struct {
 }
 
 // LongPoleDelta records the long-pole optimization campaign: for each
-// targeted spec, the sequential seconds measured at the v3 baseline
-// (container/heap-era numbers from the committed northstar-bench/v3
-// report, reference container) against this run's spec_seconds, plus the
+// targeted spec, the sequential seconds measured at the committed v6
+// baseline (post order-statistics/shared-oracle, pre calendar-queue,
+// reference container) against this run's spec_seconds, plus the
 // suite-wide before/after and the sequential-time budget the CI guard
 // enforces (`bench -guard`).
 type LongPoleDelta struct {
@@ -158,21 +193,25 @@ type PoleDelta struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// poleBaseline is the committed northstar-bench/v3 spec_seconds for the
-// three long poles named by ROADMAP item 4, measured on the reference
-// container (1 CPU) before the order-statistics, shared-oracle, and
-// machine-reuse work. suiteBaselineSeconds is that report's full
-// sequential suite time; suiteBudgetSeconds is the post-optimization
-// budget the guard holds the suite to.
+// poleBaseline is the committed northstar-bench/v6 spec_seconds for the
+// five tail poles of the calendar-queue campaign, measured on the
+// reference container after the order-statistics/shared-oracle/
+// machine-reuse work but before the calendar-queue kernel backend,
+// coroutine proc delivery, and per-shard probe hoisting.
+// suiteBaselineSeconds is that report's full sequential suite time;
+// suiteBudgetSeconds is the post-campaign budget the guard holds the
+// suite to.
 var poleBaseline = []PoleDelta{
-	{ID: "E9", Before: 2.01},
-	{ID: "X6", Before: 1.672},
-	{ID: "E7", Before: 0.665},
+	{ID: "E10", Before: 0.603},
+	{ID: "E6", Before: 0.465},
+	{ID: "E4", Before: 0.440},
+	{ID: "X6", Before: 0.252},
+	{ID: "E8", Before: 0.195},
 }
 
 const (
-	suiteBaselineSeconds = 5.919
-	suiteBudgetSeconds   = 3.0
+	suiteBaselineSeconds = 2.102
+	suiteBudgetSeconds   = 2.0
 )
 
 // ShardRes reports the Monte Carlo shard engine's scaling on the E9
@@ -273,6 +312,13 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "bench: machine memory footprint (bytes/node)...\n")
 	rep.Memory = benchMemory()
+
+	fmt.Fprintf(os.Stderr, "bench: event-queue backends (heap vs calendar)...\n")
+	rep.Queue = benchQueue()
+	for _, pt := range rep.Queue.Points {
+		fmt.Fprintf(os.Stderr, "bench:   %-16s pending=%-8d heap %6.1f ns/ev  calendar %6.1f ns/ev (%.2fx, %.2f allocs/ev)\n",
+			pt.Distribution, pt.Pending, pt.HeapNsPerEvent, pt.CalNsPerEvent, pt.Speedup, pt.CalAllocsPerEvent)
+	}
 
 	workers := *par
 	if workers <= 0 {
@@ -415,6 +461,110 @@ func benchFabric(sends int, probe network.Probe) KernelRes {
 		AllocsPerEvent: round3(float64(after.Mallocs-before.Mallocs) / float64(sends)),
 		BytesPerEvent:  round3(float64(after.TotalAlloc-before.TotalAlloc) / float64(sends)),
 	}
+}
+
+// benchQueue measures the queue section: for each scheduling
+// distribution and pending depth, the same churn workload (fixed depth,
+// every fire reschedules) runs on a heap-pinned and a calendar-pinned
+// kernel. Offsets draw from a horizon of 1 virtual microsecond per
+// pending event, so depth scales density the way a growing machine does
+// rather than just packing the same interval tighter.
+func benchQueue() QueueRes {
+	type dist struct {
+		name string
+		draw func(rng *rand.Rand, horizon sim.Time) sim.Time
+	}
+	dists := []dist{
+		{"uniform", func(rng *rand.Rand, h sim.Time) sim.Time {
+			return sim.Time(rng.Float64()) * h
+		}},
+		{"same_time_heavy", func(rng *rand.Rand, h sim.Time) sim.Time {
+			// 64 discrete slots: thousands of events share each exact
+			// timestamp, the shape of synchronized collectives.
+			return sim.Time(rng.Intn(64)+1) * (h / 64)
+		}},
+		{"bimodal", func(rng *rand.Rand, h sim.Time) sim.Time {
+			// Dense near cluster plus a far tail (checkpoint/MTBF-style
+			// timers): exercises the overflow heap and window slide.
+			if rng.Float64() < 0.8 {
+				return sim.Time(rng.Float64()) * (h / 10)
+			}
+			return h + sim.Time(rng.Float64())*h
+		}},
+	}
+	var res QueueRes
+	for _, d := range dists {
+		for _, pending := range []int{10_000, 1_000_000} {
+			horizon := sim.Time(pending) * sim.Microsecond
+			churn := 4 * pending
+			if churn < 1_000_000 {
+				churn = 1_000_000
+			}
+			if churn > 2_000_000 {
+				churn = 2_000_000
+			}
+			draw := func(rng *rand.Rand) sim.Time { return d.draw(rng, horizon) }
+			hNs, hAllocs := measureQueue(sim.QueueHeap, pending, churn, draw)
+			cNs, cAllocs := measureQueue(sim.QueueCalendar, pending, churn, draw)
+			pt := QueuePoint{
+				Distribution:       d.name,
+				Pending:            pending,
+				Events:             churn,
+				HeapNsPerEvent:     hNs,
+				CalNsPerEvent:      cNs,
+				HeapAllocsPerEvent: hAllocs,
+				CalAllocsPerEvent:  cAllocs,
+			}
+			if cNs > 0 {
+				pt.Speedup = round3(hNs / cNs)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}
+
+// measureQueue runs one backend through the churn workload: fill to the
+// target depth, warm up with a quarter of the churn (capacity ratchets,
+// window shaping), then measure ns and allocs per fired event over the
+// full churn with memstats deltas, best of three passes (the minimum is
+// the pass least perturbed by host scheduling noise, which on a shared
+// container dwarfs the backend gap this section measures). Every fire
+// reschedules before a possible Stop, so the depth is exactly `pending`
+// throughout.
+func measureQueue(kind sim.QueueKind, pending, churn int, draw func(*rand.Rand) sim.Time) (nsPerEvent, allocsPerEvent float64) {
+	k := sim.NewOnQueue(1, kind)
+	rng := rand.New(rand.NewSource(7))
+	fired, target := 0, 0
+	var fn func()
+	fn = func() {
+		fired++
+		k.After(draw(rng), fn)
+		if fired >= target {
+			k.Stop()
+		}
+	}
+	for i := 0; i < pending; i++ {
+		k.After(draw(rng), fn)
+	}
+	target = churn / 4
+	k.Run()
+
+	bestNs, allocs := math.Inf(1), 0.0
+	for rep := 0; rep < 3; rep++ {
+		fired, target = 0, churn
+		var before, after runtime.MemStats
+		readMem(&before)
+		start := time.Now()
+		k.Run()
+		elapsed := time.Since(start)
+		readMem(&after)
+		if ns := float64(elapsed.Nanoseconds()) / float64(churn); ns < bestNs {
+			bestNs = ns
+		}
+		allocs = float64(after.Mallocs-before.Mallocs) / float64(churn)
+	}
+	return round3(bestNs), round3(allocs)
 }
 
 // benchMemory measures settled heap growth per simulated node for
@@ -624,8 +774,8 @@ func benchShards() ShardRes {
 // sequential breakdown against the hardcoded v3 baseline.
 func poleDelta(suiteSeconds float64, specSeconds map[string]float64) LongPoleDelta {
 	d := LongPoleDelta{
-		Baseline: "northstar-bench/v3 (pre order-statistics / shared-oracle / " +
-			"machine-reuse), reference container (1 CPU)",
+		Baseline: "northstar-bench/v6 (pre calendar-queue / coroutine procs / " +
+			"per-shard probe hoisting), reference container",
 		SuiteBudgetSeconds: suiteBudgetSeconds,
 		SuiteBefore:        suiteBaselineSeconds,
 		SuiteAfter:         suiteSeconds,
@@ -643,7 +793,7 @@ func poleDelta(suiteSeconds float64, specSeconds map[string]float64) LongPoleDel
 // printDelta renders the long-pole before/after table (the headline of
 // the perf campaign; scripts/bench.sh shows it after every run).
 func printDelta(w io.Writer, d LongPoleDelta) {
-	fmt.Fprintf(w, "bench: long-pole delta vs v3 baseline\n")
+	fmt.Fprintf(w, "bench: long-pole delta vs v6 baseline\n")
 	fmt.Fprintf(w, "  %-6s %10s %10s %9s\n", "spec", "before-s", "after-s", "speedup")
 	for _, p := range d.Poles {
 		fmt.Fprintf(w, "  %-6s %10.3f %10.3f %8.1fx\n", p.ID, p.Before, p.After, p.Speedup)

@@ -34,21 +34,21 @@ func All() []Spec {
 		mustScenario("E4"),
 		mustScenario("E5"),
 		mustScenario("E5b"),
-		{"E6", "collective scaling", E6Collectives, 0.29},
+		{"E6", "collective scaling", E6Collectives, 0.26},
 		mustScenario("E6b"),
 		mustScenario("E7"),
-		{"E8", "batch scheduling policies", E8Scheduling, 0.21},
+		{"E8", "batch scheduling policies", E8Scheduling, 0.13},
 		mustScenario("E9"),
 		mustScenario("E10"),
-		{"E11", "trans-petaflops crossing", wrap(E11Petaflops), 0.015},
+		{"E11", "trans-petaflops crossing", wrap(E11Petaflops), 0.016},
 		{"E12", "innovation waterfall", wrap(E12Ablation), 0.001},
-		{"X1", "hybrid vs flat placement on SMP nodes", X1Hybrid, 0.13},
-		{"X2", "degraded-fabric operation", X2Degraded, 0.10},
-		{"X3", "power-wall sensitivity", wrap(X3PowerWall), 0.002},
-		{"X4", "I/O-limited checkpointing", X4CheckpointIO, 0.0005},
+		{"X1", "hybrid vs flat placement on SMP nodes", X1Hybrid, 0.07},
+		{"X2", "degraded-fabric operation", X2Degraded, 0.076},
+		{"X3", "power-wall sensitivity", wrap(X3PowerWall), 0.003},
+		{"X4", "I/O-limited checkpointing", X4CheckpointIO, 0.001},
 		{"X5", "management/monitoring scalability", X5Monitoring, 0.002},
-		{"X6", "node placement: contiguous vs scatter", X6Placement, 0.315},
-		{"X7", "congestion trees under credit flow control", X7Congestion, 0.18},
+		{"X6", "node placement: contiguous vs scatter", X6Placement, 0.12},
+		{"X7", "congestion trees under credit flow control", X7Congestion, 0.17},
 	}
 }
 

@@ -45,7 +45,7 @@ var scenarioSpecs = []*ScenarioSpec{
 			{Name: "year", Values: []string{"2002", "2003", "2004", "2005", "2006", "2007",
 				"2008", "2009", "2010", "2011", "2012"}},
 		},
-		Cost: 0.0003,
+		Cost: 0.001,
 	},
 	{
 		ID:    "E3",
@@ -81,7 +81,7 @@ var scenarioSpecs = []*ScenarioSpec{
 		Sweep: []Axis{
 			{Name: "app", Values: []string{"ep", "stencil2d", "cg", "hpl"}},
 		},
-		Cost: 0.43,
+		Cost: 0.25,
 	},
 	{
 		ID:      "E5",
@@ -100,7 +100,7 @@ var scenarioSpecs = []*ScenarioSpec{
 			{Name: "fabric", Values: []string{"fast-ethernet", "gigabit-ethernet", "myrinet-2000",
 				"qsnet-elan3", "infiniband-4x", "optical-circuit"}},
 		},
-		Cost: 0.018,
+		Cost: 0.014,
 	},
 	{
 		ID:      "E5b",
@@ -138,7 +138,7 @@ var scenarioSpecs = []*ScenarioSpec{
 			{Name: "bytes", Values: []string{"8", "1024", "65536", "1048576", "8388608"},
 				Quick: []string{"8", "1024", "65536", "1048576"}},
 		},
-		Cost: 0.094,
+		Cost: 0.052,
 	},
 	{
 		ID:      "E7",
@@ -157,7 +157,7 @@ var scenarioSpecs = []*ScenarioSpec{
 			{Name: "bytes", Values: []string{"1024", "16384", "262144", "1048576", "4194304", "16777216"},
 				Quick: []string{"1024", "65536", "1048576", "4194304"}},
 		},
-		Cost: 0.155,
+		Cost: 0.097,
 	},
 	{
 		ID:      "E9",
@@ -204,7 +204,7 @@ var scenarioSpecs = []*ScenarioSpec{
 		Sweep: []Axis{
 			{Name: "nodes", Values: []string{"128", "512", "2048", "8192"}},
 		},
-		Cost: 0.044,
+		Cost: 0.091,
 	},
 }
 

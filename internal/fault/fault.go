@@ -84,9 +84,12 @@ func (s System) FirstFailureMeanSharded(p *mc.Pool, runs int, seed int64, shards
 	}
 	first := stats.MinOf(s.Lifetime, s.Nodes)
 	firsts := make([]float64, runs)
-	mc.Replicate(p, shards, runs, seed, func(r int, rng *rand.Rand) {
+	// The probe lookup walks the goroutine-local registry, so fetch it
+	// once per shard rather than per replication; it is stable for the
+	// shard task's lifetime.
+	mc.ReplicateSetup(p, shards, runs, seed, newProbe, func(r int, rng *rand.Rand, probe Probe) {
 		firsts[r] = first.Sample(rng)
-		if probe := newProbe(); probe != nil {
+		if probe != nil {
 			probe.Failure(sim.Time(firsts[r]))
 		}
 	})
@@ -221,8 +224,11 @@ func (c Checkpoint) simulate(p *mc.Pool, runs int, seed int64, shards int) Resul
 	// bias every mean. ReplicateCensored preserves the sequential
 	// break-at-first-cap semantics: only runs before the first capped one
 	// enter the statistics.
-	firstCapped := mc.ReplicateCensored(p, shards, runs, seed, func(r int, rng *rand.Rand) bool {
-		probe := newProbe()
+	// The probe is fetched once per shard (ReplicateCensoredSetup): the
+	// lookup walks the goroutine-local registry and is stable for the
+	// shard task's lifetime, and per-replication fetches dominated the
+	// observed runs of the checkpoint sweeps.
+	firstCapped := mc.ReplicateCensoredSetup(p, shards, runs, seed, newProbe, func(r int, rng *rand.Rand, probe Probe) bool {
 		t := 0.0    // wall clock
 		done := 0.0 // checkpointed useful work
 		runLost := 0.0

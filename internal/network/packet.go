@@ -26,6 +26,11 @@ type PacketNet struct {
 	// HopsTraversed counts total packet-hops, for congestion metrics.
 	HopsTraversed int64
 	probe         Probe
+	// Per-send routing scratch. Send is synchronous and never reentered,
+	// so one set of buffers serves every message without allocating.
+	scrEdges  []int
+	scrVerts  []int
+	scrDlinks []int
 	// BatchBulk enables the steady-state fast path in Send: once a
 	// message's full-MTU packets are link-limited at every hop with
 	// invariant spacing, the remaining ones are applied in O(hops)
@@ -99,9 +104,9 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 	}
 	f.count(bytes)
 
-	edges, verts := f.g.Route(f.eps[src], f.eps[dst])
+	edges, verts := f.g.RouteAppend(f.eps[src], f.eps[dst], f.scrEdges, f.scrVerts)
 	// Directed link ids along the route.
-	dlinks := make([]int, len(edges))
+	dlinks := append(f.scrDlinks[:0], edges...)
 	for i, e := range edges {
 		dir := 0
 		if f.g.Edge(e).A != verts[i] {
@@ -109,6 +114,7 @@ func (f *PacketNet) Send(src, dst int, bytes int64, onInjected, onDelivered func
 		}
 		dlinks[i] = 2*e + dir
 	}
+	f.scrEdges, f.scrVerts, f.scrDlinks = edges, verts, dlinks
 
 	mtu := int64(f.p.MTU)
 	npkts := bytes / mtu

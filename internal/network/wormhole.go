@@ -40,6 +40,10 @@ type WormholeNet struct {
 	// Stalls counts packet-start attempts deferred for want of a credit
 	// — the congestion metric.
 	Stalls int64
+	// Per-send routing scratch (the dlinks slice itself is captured by
+	// in-flight packets, so only the route buffers are reusable).
+	scrEdges []int
+	scrVerts []int
 }
 
 // wlink is one directed link's flow-control state.
@@ -128,7 +132,8 @@ func (f *WormholeNet) Send(src, dst int, bytes int64, onInjected, onDelivered fu
 	}
 	f.count(bytes)
 
-	edges, verts := f.g.Route(f.eps[src], f.eps[dst])
+	edges, verts := f.g.RouteAppend(f.eps[src], f.eps[dst], f.scrEdges, f.scrVerts)
+	f.scrEdges, f.scrVerts = edges, verts
 	dlinks := make([]int, len(edges))
 	for i, e := range edges {
 		dir := 0

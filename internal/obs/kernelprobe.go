@@ -9,9 +9,12 @@ import (
 )
 
 // KernelProbe implements sim.Probe with plain counters: events scheduled,
-// fired, and cancelled, same-time-FIFO fast-path hits, heap compactions,
+// fired, and cancelled, same-time-FIFO fast-path hits, queue compactions,
 // peak queue depth, and a power-of-two histogram of queue depth sampled
-// at every schedule. One probe may observe many kernels as long as they
+// at every schedule. Depth here is the kernel's live count — events that
+// will actually fire — so lazily-cancelled entries awaiting drain or
+// compaction never inflate the gauge or the histogram. One probe may
+// observe many kernels as long as they
 // are driven one at a time from one goroutine — exactly the shape of an
 // experiment that builds a kernel per sweep point; the counters then
 // aggregate across the experiment's kernels.
@@ -44,16 +47,17 @@ func NewKernelProbe() *KernelProbe {
 
 var _ sim.Probe = (*KernelProbe)(nil)
 
-// EventScheduled implements sim.Probe.
-func (p *KernelProbe) EventScheduled(at sim.Time, pending int, fastPath bool) {
+// EventScheduled implements sim.Probe. live is the kernel's live event
+// count (sim.Kernel.Live) at the sample.
+func (p *KernelProbe) EventScheduled(at sim.Time, live int, fastPath bool) {
 	p.scheduled++
 	if fastPath {
 		p.fastPath++
 	}
-	if pending > p.peakPending {
-		p.peakPending = pending
+	if live > p.peakPending {
+		p.peakPending = live
 	}
-	i := bits.Len64(uint64(pending)) - 1 // pending >= 1 after a schedule
+	i := bits.Len64(uint64(live)) - 1 // live >= 1 after a schedule
 	if i > depthBuckets {
 		i = depthBuckets
 	}
@@ -61,7 +65,7 @@ func (p *KernelProbe) EventScheduled(at sim.Time, pending int, fastPath bool) {
 }
 
 // EventFired implements sim.Probe.
-func (p *KernelProbe) EventFired(now sim.Time, pending int) {
+func (p *KernelProbe) EventFired(now sim.Time, live int) {
 	p.fired++
 	if now > p.lastVT {
 		p.lastVT = now
@@ -69,7 +73,7 @@ func (p *KernelProbe) EventFired(now sim.Time, pending int) {
 }
 
 // EventCancelled implements sim.Probe.
-func (p *KernelProbe) EventCancelled(now sim.Time, pending int) {
+func (p *KernelProbe) EventCancelled(now sim.Time, live int) {
 	p.cancelled++
 }
 

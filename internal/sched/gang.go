@@ -107,10 +107,11 @@ func SimulateGang(nodes int, jobs []*Job, cfg GangConfig) (Result, error) {
 		for len(slotJobs[row]) == 0 {
 			row = (row + 1) % cfg.Slots
 		}
-		// Run that row for one quantum (minus switch overhead).
+		// Run that row for one quantum (minus switch overhead),
+		// compacting finished jobs out of the row in place.
 		service := cfg.Quantum - cfg.SwitchOverhead
 		endOfQuantum := now + cfg.Quantum
-		var still []*gangJob
+		still := slotJobs[row][:0]
 		for _, g := range slotJobs[row] {
 			if g.remaining <= service {
 				g.job.End = now + cfg.SwitchOverhead + g.remaining
@@ -123,6 +124,9 @@ func SimulateGang(nodes int, jobs []*Job, cfg GangConfig) (Result, error) {
 				g.remaining -= service
 				still = append(still, g)
 			}
+		}
+		for i := len(still); i < len(slotJobs[row]); i++ {
+			slotJobs[row][i] = nil
 		}
 		slotJobs[row] = still
 		now = endOfQuantum

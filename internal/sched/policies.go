@@ -66,7 +66,9 @@ func Simulate(nodes int, jobs []*Job, p Policy) (Result, error) {
 func removeJob(list []*Job, j *Job) []*Job {
 	for i, x := range list {
 		if x == j {
-			return append(list[:i:i], list[i+1:]...)
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
 		}
 	}
 	panic("sched: job not in list")
@@ -125,7 +127,7 @@ func (EASY) Pick(now sim.Time, free int, queue, running []*Job) []*Job {
 		end   sim.Time
 		nodes int
 	}
-	var rels []rel
+	rels := make([]rel, 0, len(running)+len(picks))
 	for _, j := range running {
 		rels = append(rels, rel{j.Start + j.Estimate, j.Nodes})
 	}
@@ -182,7 +184,9 @@ func (Conservative) Pick(now sim.Time, free int, queue, running []*Job) []*Job {
 	for _, j := range running {
 		total += j.Nodes
 	}
-	prof := newProfile(now, total)
+	// Size the breakpoint arrays for the reservations about to be laid
+	// down (two breakpoints each) so split never regrows them.
+	prof := newProfileCap(now, total, 2*(len(running)+len(queue))+2)
 	for _, j := range running {
 		prof.reserve(now, j.Start+j.Estimate, j.Nodes)
 	}
@@ -205,7 +209,15 @@ type profile struct {
 }
 
 func newProfile(now sim.Time, free int) *profile {
-	return &profile{times: []sim.Time{now, sim.Forever}, free: []int{free}}
+	return newProfileCap(now, free, 2)
+}
+
+func newProfileCap(now sim.Time, free int, capHint int) *profile {
+	times := make([]sim.Time, 2, capHint)
+	times[0], times[1] = now, sim.Forever
+	frees := make([]int, 1, capHint)
+	frees[0] = free
+	return &profile{times: times, free: frees}
 }
 
 // split ensures t is a breakpoint and returns its index.

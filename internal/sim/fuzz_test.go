@@ -5,18 +5,161 @@ import (
 	"testing"
 )
 
-// FuzzKernelOps drives the kernel's hot path — heap scheduling, the
-// same-time FIFO fast path, lazy cancellation, compaction — from a fuzzed
-// op stream and checks it against a trivially correct reference model: a
-// flat slice of (time, scheduling-index) pairs sorted stably. The kernel
-// promises events fire in (time, seq) order with FIFO ties, cancelled
-// events never fire, Cancel/Pending report the truth, and the clock never
-// runs backwards; any heap or free-list bug that breaks one of those
+// opsResult is one backend's observable outcome of an op stream: the
+// payload fire order plus the kernel's final accounting. The differential
+// harness requires it to be identical on every queue backend.
+type opsResult struct {
+	fired   []int
+	count   uint64
+	pending int
+	final   Time
+}
+
+// runKernelOps drives one kernel — pinned to the given queue backend —
+// through the fuzzed op stream and checks it against a trivially correct
+// reference model: a flat slice of (time, scheduling-index) pairs sorted
+// stably. The kernel promises events fire in (time, seq) order with FIFO
+// ties, cancelled events never fire, Cancel/Pending report the truth, and
+// the clock never runs backwards; any queue bug that breaks one of those
 // shows up as an order or bookkeeping diff.
 //
 // The op stream executes *inside* kernel events (a driver chain), so
-// scheduling happens both before the clock reaches an event's time (heap
+// scheduling happens both before the clock reaches an event's time (queue
 // path) and exactly at it (nowq fast path), like real simulations.
+//
+// Ops (op = byte%8, arg = next byte):
+//
+//	0, 1: schedule one payload arg microseconds out (near cluster)
+//	2:    schedule an 8-payload monotone burst at +arg..+arg+7 µs
+//	      (density — drives calendar bucket growth and the auto switch)
+//	3:    schedule one payload arg*16 milliseconds out (far tail —
+//	      bimodal with 0-2, drives calendar overflow and promotion)
+//	4, 5: cancel the arg-th payload (lazy deletion, compaction)
+//	6:    check the arg-th payload's Pending against the model
+//	7:    advance the driver clock arg microseconds
+func runKernelOps(t *testing.T, data []byte, kind QueueKind) opsResult {
+	t.Helper()
+	k := NewOnQueue(1, kind)
+
+	type payload struct {
+		id        int
+		at        Time
+		h         Handle
+		cancelled bool
+		fired     bool
+	}
+	var model []*payload
+	var fired []int
+	lastNow := k.Now()
+
+	schedule := func(d Time) {
+		p := &payload{id: len(model), at: k.Now() + d}
+		p.h = k.After(d, func() {
+			if p.fired || p.cancelled {
+				t.Fatalf("[%v] payload %d fired twice or after cancel", kind, p.id)
+			}
+			p.fired = true
+			fired = append(fired, p.id)
+		})
+		model = append(model, p)
+	}
+
+	i := 0
+	var step func()
+	step = func() {
+		if k.Now() < lastNow {
+			t.Fatalf("[%v] clock ran backwards: %v after %v", kind, k.Now(), lastNow)
+		}
+		lastNow = k.Now()
+		if live := k.Live(); live < 0 || live > k.Pending() {
+			t.Fatalf("[%v] Live() = %d outside [0, Pending()=%d]", kind, live, k.Pending())
+		}
+		if i+1 >= len(data) {
+			return
+		}
+		op, arg := data[i]%8, int(data[i+1])
+		i += 2
+		next := Time(0) // next driver step: same-time unless op 7
+		switch op {
+		case 0, 1: // near: arg microseconds out
+			schedule(Time(arg) * Microsecond)
+		case 2: // dense monotone burst
+			for j := 0; j < 8; j++ {
+				schedule(Time(arg+j) * Microsecond)
+			}
+		case 3: // far tail: arg*16 ms out (calendar overflow territory)
+			schedule(Time(arg) * 16 * Millisecond)
+		case 4, 5: // cancel the arg-th payload; Cancel must tell the truth
+			if len(model) == 0 {
+				break
+			}
+			p := model[arg%len(model)]
+			want := !p.fired && !p.cancelled
+			if got := p.h.Cancel(); got != want {
+				t.Fatalf("[%v] payload %d: Cancel() = %v, model says %v (fired=%v cancelled=%v)",
+					kind, p.id, got, want, p.fired, p.cancelled)
+			}
+			if want {
+				p.cancelled = true
+			}
+		case 6: // Pending must agree with the model
+			if len(model) == 0 {
+				break
+			}
+			p := model[arg%len(model)]
+			if want := !p.fired && !p.cancelled; p.h.Pending() != want {
+				t.Fatalf("[%v] payload %d: Pending() = %v, model says %v", kind, p.id, p.h.Pending(), want)
+			}
+		case 7: // advance the driver clock
+			next = Time(arg) * Microsecond
+		}
+		k.After(next, step)
+	}
+	k.After(0, step)
+	final := k.Run()
+
+	// Every live payload fired in (time, scheduling order); nothing
+	// cancelled fired; nothing fired twice.
+	var want []*payload
+	for _, p := range model {
+		if !p.cancelled {
+			want = append(want, p)
+		}
+	}
+	sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+	if len(fired) != len(want) {
+		t.Fatalf("[%v] %d payloads fired, model expects %d", kind, len(fired), len(want))
+	}
+	for j, p := range want {
+		if fired[j] != p.id {
+			t.Fatalf("[%v] firing position %d: payload %d, model expects %d (at=%v)", kind, j, fired[j], p.id, p.at)
+		}
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("[%v] %d events still pending after Run drained everything", kind, k.Pending())
+	}
+	if k.Live() != 0 {
+		t.Fatalf("[%v] Live() = %d after Run drained everything", kind, k.Live())
+	}
+	// A handle whose event fired or was cancelled must stay dead.
+	for _, p := range model {
+		if p.h.Pending() {
+			t.Fatalf("[%v] payload %d still Pending after the run", kind, p.id)
+		}
+		if p.h.Cancel() {
+			t.Fatalf("[%v] payload %d: Cancel succeeded after the run", kind, p.id)
+		}
+	}
+	return opsResult{fired: fired, count: k.Fired(), pending: k.Pending(), final: final}
+}
+
+// FuzzKernelOps is the differential backend fuzz target: every op stream
+// runs on the pinned heap backend, the pinned calendar backend, and a
+// QueueAuto kernel (which may migrate mid-run), each checked against the
+// reference model — and then the three observable outcomes are required
+// to be bit-identical. The ordering contract is a total order on
+// (at, seq), so nothing about the backend may leak into fire order,
+// Fired/Pending accounting, or the final clock.
 func FuzzKernelOps(f *testing.F) {
 	// Seeds: pure same-time scheduling, a cancel-heavy stream (drives
 	// compaction), mixed deltas, time advances between bursts.
@@ -24,103 +167,55 @@ func FuzzKernelOps(f *testing.F) {
 	f.Add([]byte{0, 5, 1, 3, 4, 0, 0, 2, 4, 1, 4, 2})
 	f.Add([]byte{0, 10, 7, 4, 0, 0, 7, 9, 2, 200, 4, 0, 6, 1})
 	f.Add([]byte{1, 1, 1, 1, 4, 0, 4, 1, 4, 2, 4, 3, 4, 4, 4, 5})
+	// Far-tail stream: 24 overflow-range events with a near cluster in
+	// between — exercises the calendar's overflow heap, the drain-time
+	// rebuild, and bulk promotion into a reshaped window.
+	far := []byte{}
+	for j := 0; j < 24; j++ {
+		far = append(far, 3, byte(7+j*11))
+	}
+	far = append(far, 0, 2, 0, 2, 7, 50)
+	f.Add(far)
+	// Density stream: ~70 monotone bursts (≈560 resident events) with
+	// sparse cancels — exercises the calendar's density-driven bucket
+	// resize and the QueueAuto heap-to-calendar migration, then drains
+	// through a far advance.
+	dense := []byte{}
+	for j := 0; j < 70; j++ {
+		dense = append(dense, 2, byte(j*3))
+	}
+	dense = append(dense, 4, 17, 4, 130, 7, 255, 7, 255)
+	f.Add(dense)
+	// Bimodal near/far interleave with cancels landing on both modes.
+	bimodal := []byte{}
+	for j := 0; j < 16; j++ {
+		bimodal = append(bimodal, 0, byte(j), 3, byte(200-j*5), 4, byte(j*7))
+	}
+	f.Add(bimodal)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 512 {
 			data = data[:512] // bound per-input work
 		}
-		k := New(1)
-
-		type payload struct {
-			id        int
-			at        Time
-			h         Handle
-			cancelled bool
-			fired     bool
-		}
-		var model []*payload
-		var fired []int
-		lastNow := k.Now()
-
-		i := 0
-		var step func()
-		step = func() {
-			if k.Now() < lastNow {
-				t.Fatalf("clock ran backwards: %v after %v", k.Now(), lastNow)
+		heap := runKernelOps(t, data, QueueHeap)
+		cal := runKernelOps(t, data, QueueCalendar)
+		auto := runKernelOps(t, data, QueueAuto)
+		for _, other := range []struct {
+			kind QueueKind
+			res  opsResult
+		}{{QueueCalendar, cal}, {QueueAuto, auto}} {
+			if len(other.res.fired) != len(heap.fired) {
+				t.Fatalf("%v fired %d payloads, heap fired %d", other.kind, len(other.res.fired), len(heap.fired))
 			}
-			lastNow = k.Now()
-			if i+1 >= len(data) {
-				return
-			}
-			op, arg := data[i]%8, int(data[i+1])
-			i += 2
-			next := Time(0) // next driver step: same-time unless op 7
-			switch op {
-			case 0, 1, 2, 3: // schedule a payload arg microseconds out
-				p := &payload{id: len(model), at: k.Now() + Time(arg)*Microsecond}
-				p.h = k.After(Time(arg)*Microsecond, func() {
-					if p.fired || p.cancelled {
-						t.Fatalf("payload %d fired twice or after cancel", p.id)
-					}
-					p.fired = true
-					fired = append(fired, p.id)
-				})
-				model = append(model, p)
-			case 4, 5: // cancel the arg-th payload; Cancel must tell the truth
-				if len(model) == 0 {
-					break
+			for j := range heap.fired {
+				if other.res.fired[j] != heap.fired[j] {
+					t.Fatalf("%v diverged from heap at firing %d: payload %d vs %d",
+						other.kind, j, other.res.fired[j], heap.fired[j])
 				}
-				p := model[arg%len(model)]
-				want := !p.fired && !p.cancelled
-				if got := p.h.Cancel(); got != want {
-					t.Fatalf("payload %d: Cancel() = %v, model says %v (fired=%v cancelled=%v)",
-						p.id, got, want, p.fired, p.cancelled)
-				}
-				if want {
-					p.cancelled = true
-				}
-			case 6: // Pending must agree with the model
-				if len(model) == 0 {
-					break
-				}
-				p := model[arg%len(model)]
-				if want := !p.fired && !p.cancelled; p.h.Pending() != want {
-					t.Fatalf("payload %d: Pending() = %v, model says %v", p.id, p.h.Pending(), want)
-				}
-			case 7: // advance the driver clock
-				next = Time(arg) * Microsecond
 			}
-			k.After(next, step)
-		}
-		k.After(0, step)
-		k.Run()
-
-		// Every live payload fired in (time, scheduling order); nothing
-		// cancelled fired; nothing fired twice.
-		var want []*payload
-		for _, p := range model {
-			if !p.cancelled {
-				want = append(want, p)
-			}
-		}
-		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
-		if len(fired) != len(want) {
-			t.Fatalf("%d payloads fired, model expects %d", len(fired), len(want))
-		}
-		for j, p := range want {
-			if fired[j] != p.id {
-				t.Fatalf("firing position %d: payload %d, model expects %d (at=%v)", j, fired[j], p.id, p.at)
-			}
-		}
-		if k.Pending() != 0 {
-			t.Fatalf("%d events still pending after Run drained everything", k.Pending())
-		}
-		// A handle whose event fired or was cancelled must stay dead.
-		for _, p := range model {
-			if p.h.Pending() {
-				t.Fatalf("payload %d still Pending after the run", p.id)
-			}
-			if p.h.Cancel() {
-				t.Fatalf("payload %d: Cancel succeeded after the run", p.id)
+			if other.res.count != heap.count || other.res.pending != heap.pending || other.res.final != heap.final {
+				t.Fatalf("%v accounting diverged from heap: fired %d/%d, pending %d/%d, final %v/%v",
+					other.kind, other.res.count, heap.count, other.res.pending, heap.pending,
+					other.res.final, heap.final)
 			}
 		}
 	})

@@ -9,22 +9,26 @@
 // the order they were scheduled (a monotonic sequence number breaks ties),
 // and all randomness flows from a caller-supplied seed. Two runs with the
 // same seed produce bit-identical event orderings, which keeps every
-// experiment in this repository reproducible.
+// experiment in this repository reproducible. The ordering contract is a
+// total order on (at, seq) — it holds identically on every queue backend,
+// so the choice of backend never changes simulation output.
 //
 // Performance: the event queue is the hot path of every simulation, so it
-// avoids allocating on it. Scheduling pushes a value-type entry onto a
-// hand-rolled 4-ary min-heap (shallower than a binary heap, and sibling
-// keys share cache lines), event payloads are recycled through a free
-// list, cancelled events are deleted lazily with the heap compacted once
-// dead entries outnumber live ones, and events scheduled at the current
-// virtual time — the dominant case for process handoff — bypass the heap
-// entirely via a FIFO queue.
+// avoids allocating on it. Scheduling pushes a value-type entry onto one of
+// two backends — a hand-rolled 4-ary min-heap for sparse schedules, or a
+// calendar queue (bucketed sliding time window, see queue_calendar.go) once
+// pending-event density makes heap sift chains the cost center — event
+// payloads are recycled through a free list, cancelled events are deleted
+// lazily with the queue compacted once dead entries outnumber live ones,
+// and events scheduled at the current virtual time — the dominant case for
+// process handoff — bypass the queue entirely via a FIFO.
 package sim
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, in seconds. Virtual time is unrelated
@@ -81,7 +85,7 @@ func (t Time) String() string {
 type event struct {
 	fn    func()
 	gen   uint32
-	inNow bool // queued on the same-time fast path, not the heap
+	inNow bool // queued on the same-time fast path, not the future queue
 }
 
 // Handle identifies a scheduled event and allows cancelling it before it
@@ -100,14 +104,17 @@ func (h Handle) Cancel() bool {
 		return false
 	}
 	h.ev.fn = nil // lazy deletion; the queue entry stays until drained
-	if h.k.probe != nil {
-		h.k.probe.EventCancelled(h.k.now, h.k.Pending())
+	k := h.k
+	if h.ev.inNow {
+		k.nowDead++
+	} else {
+		k.dead++
 	}
-	if !h.ev.inNow {
-		h.k.dead++
-		if h.k.dead*2 > len(h.k.heap) && len(h.k.heap) >= compactMin {
-			h.k.compact()
-		}
+	if k.probe != nil {
+		k.probe.EventCancelled(k.now, k.Live())
+	}
+	if !h.ev.inNow && k.dead*2 > k.qsize() && k.qsize() >= compactMin {
+		k.compactQueue()
 	}
 	return true
 }
@@ -117,7 +124,7 @@ func (h Handle) Pending() bool {
 	return h.ev != nil && h.gen == h.ev.gen && h.ev.fn != nil
 }
 
-// entry is one slot of the 4-ary min-heap, ordered by (at, seq).
+// entry is one queued future event, ordered by (at, seq).
 type entry struct {
 	at  Time
 	seq uint64
@@ -128,25 +135,90 @@ func entryLess(a, b entry) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-// compactMin is the minimum heap size at which cancellation-driven
+// compactMin is the minimum queue size at which cancellation-driven
 // compaction kicks in; below it, lazy draining is cheap enough.
 const compactMin = 64
 
+// QueueKind selects the event-queue backend of a Kernel.
+type QueueKind uint8
+
+const (
+	// QueueAuto starts on the 4-ary heap and switches to the calendar
+	// queue once pending-event density crosses autoCalendarThreshold.
+	// This is the default: shallow schedules stay on the heap (where a
+	// wheel would be overhead), dense ones get bucketed pops.
+	QueueAuto QueueKind = iota
+	// QueueHeap pins the kernel to the 4-ary min-heap.
+	QueueHeap
+	// QueueCalendar pins the kernel to the calendar queue.
+	QueueCalendar
+)
+
+// String names the kind as accepted by ParseQueueKind.
+func (q QueueKind) String() string {
+	switch q {
+	case QueueHeap:
+		return "heap"
+	case QueueCalendar:
+		return "calendar"
+	default:
+		return "auto"
+	}
+}
+
+// ParseQueueKind parses "auto", "heap", or "calendar".
+func ParseQueueKind(s string) (QueueKind, error) {
+	switch s {
+	case "auto":
+		return QueueAuto, nil
+	case "heap":
+		return QueueHeap, nil
+	case "calendar":
+		return QueueCalendar, nil
+	}
+	return QueueAuto, fmt.Errorf("sim: unknown queue kind %q (want auto, heap, or calendar)", s)
+}
+
+// autoCalendarThreshold is the pending-event count at which a QueueAuto
+// kernel migrates from the heap to the calendar queue. At this depth heap
+// sift chains span several cache-missing levels while the calendar's runs
+// stay short; below it the heap's simplicity wins.
+const autoCalendarThreshold = 1024
+
+// defaultQueue is the process-global QueueKind used by New. CI uses it
+// (via the -queue flag on cmd/experiments) to run the whole suite pinned
+// to one backend and prove the outputs byte-identical.
+var defaultQueue atomic.Uint32
+
+// SetDefaultQueue sets the backend New gives future kernels.
+func SetDefaultQueue(kind QueueKind) { defaultQueue.Store(uint32(kind)) }
+
+// DefaultQueue reports the backend New currently gives kernels.
+func DefaultQueue() QueueKind { return QueueKind(defaultQueue.Load()) }
+
 // Kernel is a discrete-event simulation engine. A Kernel is not safe for
 // concurrent use; all interaction must happen from the goroutine driving
-// Run (event handlers run on that goroutine, and Proc goroutines run only
+// Run (event handlers run on that goroutine, and Proc coroutines run only
 // while the kernel is parked waiting for them — see proc.go).
 type Kernel struct {
-	now  Time
-	heap []entry // 4-ary min-heap of future events, keyed by (at, seq)
-	dead int     // cancelled events still occupying heap slots
+	now Time
+
+	// Future-event queue: exactly one backend is active. onCal selects;
+	// qh is always non-nil, qc is built on first use. Dispatching on the
+	// concrete types keeps the dominant heap path inlineable.
+	qh      *heapQueue
+	qc      *calendarQueue
+	onCal   bool
+	kindCfg QueueKind
+	dead    int // cancelled future events still occupying queue slots
 
 	// nowq is the fast path for events scheduled at the current virtual
 	// time: they cannot be preceded by anything except earlier-scheduled
-	// events also due now, so FIFO order is (at, seq) order and no heap
-	// sift is needed. qhead indexes the first undrained entry.
-	nowq  []*event
-	qhead int
+	// events also due now, so FIFO order is (at, seq) order and no queue
+	// insert is needed. qhead indexes the first undrained entry.
+	nowq    []*event
+	qhead   int
+	nowDead int // cancelled nowq entries not yet drained
 
 	free    []*event // payload free list; bounded by peak pending events
 	seq     uint64
@@ -160,23 +232,44 @@ type Kernel struct {
 	// path is unchanged.
 	probe Probe
 
-	// proc handoff (see proc.go)
-	yield chan struct{}
-	procs int
+	procs int // Proc id allocator (see proc.go)
 }
 
 // New returns a Kernel with its clock at zero and randomness seeded from
-// seed. The same seed yields an identical simulation.
-func New(seed int64) *Kernel {
+// seed, on the process-default queue backend (QueueAuto unless
+// SetDefaultQueue changed it). The same seed yields an identical
+// simulation on any backend.
+func New(seed int64) *Kernel { return NewOnQueue(seed, DefaultQueue()) }
+
+// NewOnQueue is New with an explicit queue backend.
+func NewOnQueue(seed int64, kind QueueKind) *Kernel {
 	k := &Kernel{
-		seed:  seed,
-		rng:   rand.New(rand.NewSource(seed)),
-		yield: make(chan struct{}),
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
+		qh:      &heapQueue{},
+		kindCfg: kind,
+	}
+	if kind == QueueCalendar {
+		k.qc = &calendarQueue{}
+		k.onCal = true
 	}
 	if h := kernelHook.Load(); h != nil {
 		(*h)(k)
 	}
 	return k
+}
+
+// QueueConfigured reports the backend this kernel was constructed with.
+func (k *Kernel) QueueConfigured() QueueKind { return k.kindCfg }
+
+// QueueActive reports the backend currently holding future events: for a
+// QueueAuto kernel this starts as QueueHeap and becomes QueueCalendar
+// after the density switch.
+func (k *Kernel) QueueActive() QueueKind {
+	if k.onCal {
+		return QueueCalendar
+	}
+	return QueueHeap
 }
 
 // Reset returns the kernel to the state New(seed) produced: clock at
@@ -185,18 +278,25 @@ func New(seed int64) *Kernel {
 // runs instead of reconstructed. Reset panics if events are still
 // pending: it is for reusing a kernel after a drained Run, not for
 // aborting one (a Proc parked in Suspend would likewise outlive the
-// reset — finish or interrupt procs first). The event free list
-// survives, so the reused kernel also skips its warm-up allocations.
+// reset — finish or interrupt procs first). The event free list and
+// queue storage survive, so the reused kernel also skips its warm-up
+// allocations. A QueueAuto kernel drops back to the heap backend, like a
+// fresh kernel.
 func (k *Kernel) Reset() {
 	k.drainDead()
 	if k.Pending() > 0 {
 		panic(fmt.Sprintf("sim: Reset with %d events still pending", k.Pending()))
 	}
 	k.now = 0
-	k.heap = k.heap[:0]
+	k.qh.reset()
+	if k.qc != nil {
+		k.qc.reset()
+	}
+	k.onCal = k.kindCfg == QueueCalendar
 	k.nowq = k.nowq[:0]
 	k.qhead = 0
 	k.dead = 0
+	k.nowDead = 0
 	k.seq = 0
 	k.fired = 0
 	k.stopped = false
@@ -213,14 +313,80 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Fired reports how many events have executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending reports how many events are scheduled (including lazily
-// cancelled entries not yet drained).
-func (k *Kernel) Pending() int { return len(k.heap) + len(k.nowq) - k.qhead }
+// Pending reports how many events are scheduled, including lazily
+// cancelled entries not yet drained. For queue-depth telemetry use Live,
+// which excludes them.
+func (k *Kernel) Pending() int { return k.qsize() + len(k.nowq) - k.qhead }
+
+// Live reports how many scheduled events will actually fire: Pending
+// minus entries cancelled but not yet drained from either queue.
+func (k *Kernel) Live() int { return k.Pending() - k.dead - k.nowDead }
+
+// ---- queue dispatch ----
+
+func (k *Kernel) qsize() int {
+	if k.onCal {
+		return k.qc.size()
+	}
+	return k.qh.size()
+}
+
+func (k *Kernel) qmin() *entry {
+	if k.onCal {
+		return k.qc.min()
+	}
+	return k.qh.min()
+}
+
+func (k *Kernel) qpop() entry {
+	if k.onCal {
+		return k.qc.pop()
+	}
+	return k.qh.pop()
+}
+
+func (k *Kernel) qpush(e entry) {
+	if k.onCal {
+		k.qc.push(e)
+		return
+	}
+	k.qh.push(e)
+	if k.kindCfg == QueueAuto && k.qh.size() >= autoCalendarThreshold {
+		k.switchToCalendar()
+	}
+}
+
+// switchToCalendar migrates a QueueAuto kernel to the calendar backend.
+// The heap's backing array is already a valid 4-ary heap, so it moves
+// wholesale into the calendar's overflow; the calendar's first rebuild
+// shapes the window from the real distribution. Entry order is the same
+// (at, seq) total order on both sides, so the switch is invisible in the
+// event sequence.
+func (k *Kernel) switchToCalendar() {
+	if k.qc == nil {
+		k.qc = &calendarQueue{}
+	}
+	k.qc.over.h = append(k.qc.over.h[:0], k.qh.h...)
+	k.qh.reset()
+	k.onCal = true
+}
+
+// activeQueue returns the live backend behind the eventQueue interface,
+// for cold paths and tests.
+func (k *Kernel) activeQueue() eventQueue {
+	if k.onCal {
+		return k.qc
+	}
+	return k.qh
+}
+
+// ---- scheduling ----
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: a discrete-event simulation must never travel backwards.
+// past (or at a NaN time) panics: a discrete-event simulation must never
+// travel backwards.
 func (k *Kernel) At(t Time, fn func()) Handle {
-	if t < k.now {
+	if !(t >= k.now) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	if fn == nil {
@@ -229,17 +395,17 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 	ev := k.newEvent(fn)
 	k.seq++
 	if t == k.now {
-		// Same-time fast path. Any heap entry due at t was scheduled
+		// Same-time fast path. Any queued entry due at t was scheduled
 		// before the clock reached t, so it carries a smaller seq than
-		// this event and Step drains the heap first; among nowq entries
+		// this event and Step drains the queue first; among nowq entries
 		// FIFO order equals seq order.
 		ev.inNow = true
 		k.nowq = append(k.nowq, ev)
 	} else {
-		k.heapPush(entry{at: t, seq: k.seq, ev: ev})
+		k.qpush(entry{at: t, seq: k.seq, ev: ev})
 	}
 	if k.probe != nil {
-		k.probe.EventScheduled(t, k.Pending(), ev.inNow)
+		k.probe.EventScheduled(t, k.Live(), ev.inNow)
 	}
 	return Handle{k: k, ev: ev, gen: ev.gen}
 }
@@ -256,21 +422,20 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Step() bool {
 	k.drainDead()
 	var ev *event
-	switch {
-	case len(k.heap) > 0 && (k.heap[0].at == k.now || k.qhead == len(k.nowq)):
-		e := k.heapPop()
+	if m := k.qmin(); m != nil && (m.at == k.now || k.qhead == len(k.nowq)) {
+		e := k.qpop()
 		k.now = e.at
 		ev = e.ev
-	case k.qhead < len(k.nowq):
+	} else if k.qhead < len(k.nowq) {
 		ev = k.popNow()
-	default:
+	} else {
 		return false
 	}
 	fn := ev.fn
 	k.recycle(ev)
 	k.fired++
 	if k.probe != nil {
-		k.probe.EventFired(k.now, k.Pending())
+		k.probe.EventFired(k.now, k.Live())
 	}
 	fn()
 	return true
@@ -309,8 +474,8 @@ func (k *Kernel) peek() (Time, bool) {
 	if k.qhead < len(k.nowq) {
 		return k.now, true
 	}
-	if len(k.heap) > 0 {
-		return k.heap[0].at, true
+	if m := k.qmin(); m != nil {
+		return m.at, true
 	}
 	return 0, false
 }
@@ -345,12 +510,17 @@ func (k *Kernel) recycle(ev *event) {
 // drainDead recycles cancelled entries sitting at the front of either
 // queue so Step and peek see a live minimum.
 func (k *Kernel) drainDead() {
-	for len(k.heap) > 0 && k.heap[0].ev.fn == nil {
-		k.recycle(k.heapPop().ev)
+	for k.dead > 0 {
+		m := k.qmin()
+		if m == nil || m.ev.fn != nil {
+			break
+		}
+		k.recycle(k.qpop().ev)
 		k.dead--
 	}
 	for k.qhead < len(k.nowq) && k.nowq[k.qhead].fn == nil {
 		k.recycle(k.popNow())
+		k.nowDead--
 	}
 }
 
@@ -366,89 +536,12 @@ func (k *Kernel) popNow() *event {
 	return ev
 }
 
-// heapPush inserts e, sifting up with moves instead of swaps.
-func (k *Kernel) heapPush(e entry) {
-	k.heap = append(k.heap, e)
-	h := k.heap
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !entryLess(e, h[p]) {
-			break
-		}
-		h[i] = h[p]
-		i = p
-	}
-	h[i] = e
-}
-
-// heapPop removes and returns the minimum entry.
-func (k *Kernel) heapPop() entry {
-	h := k.heap
-	top := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = entry{}
-	k.heap = h[:n]
-	if n > 0 {
-		k.siftDown(0, last)
-	}
-	return top
-}
-
-// siftDown places e at index i, moving smaller children up.
-func (k *Kernel) siftDown(i int, e entry) {
-	h := k.heap
-	n := len(h)
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if entryLess(h[j], h[m]) {
-				m = j
-			}
-		}
-		if !entryLess(h[m], e) {
-			break
-		}
-		h[i] = h[m]
-		i = m
-	}
-	h[i] = e
-}
-
-// compact removes all cancelled entries from the heap and re-heapifies.
-// Triggered from Cancel once dead entries outnumber live ones, it keeps
-// cancellation-heavy workloads (timeouts that almost always get cancelled)
-// from growing the heap without bound.
-func (k *Kernel) compact() {
-	h := k.heap
-	live := h[:0]
-	for _, e := range h {
-		if e.ev.fn == nil {
-			k.recycle(e.ev)
-		} else {
-			live = append(live, e)
-		}
-	}
-	for i := len(live); i < len(h); i++ {
-		h[i] = entry{}
-	}
-	k.heap = live
+// compactQueue removes all cancelled entries from the future queue.
+// Triggered from Cancel once dead entries outnumber live ones.
+func (k *Kernel) compactQueue() {
+	removed := k.activeQueue().compact(k.recycle)
 	k.dead = 0
-	if n := len(live); n > 1 {
-		for i := (n - 2) >> 2; i >= 0; i-- {
-			k.siftDown(i, k.heap[i])
-		}
-	}
 	if k.probe != nil {
-		k.probe.HeapCompacted(k.now, len(h)-len(live), len(live))
+		k.probe.HeapCompacted(k.now, removed, k.qsize())
 	}
 }

@@ -15,18 +15,21 @@ import "sync/atomic"
 // they are not part of the simulation.
 type Probe interface {
 	// EventScheduled is called after an event is queued. at is its due
-	// time, pending the queue depth including the new event (heap plus
-	// same-time FIFO), and fastPath reports whether the event bypassed
-	// the heap via the same-time FIFO.
-	EventScheduled(at Time, pending int, fastPath bool)
+	// time, live the queue depth including the new event (future queue
+	// plus same-time FIFO, excluding lazily-cancelled entries — see
+	// Kernel.Live), and fastPath reports whether the event bypassed the
+	// future queue via the same-time FIFO.
+	EventScheduled(at Time, live int, fastPath bool)
 	// EventFired is called immediately before an event handler executes,
-	// with the clock already advanced to the event's timestamp. pending
-	// is the queue depth after removing the fired event.
-	EventFired(now Time, pending int)
-	// EventCancelled is called when Cancel removes a still-pending event.
-	EventCancelled(now Time, pending int)
+	// with the clock already advanced to the event's timestamp. live is
+	// the live queue depth after removing the fired event.
+	EventFired(now Time, live int)
+	// EventCancelled is called when Cancel removes a still-pending event,
+	// with the live depth after the cancellation.
+	EventCancelled(now Time, live int)
 	// HeapCompacted is called after cancellation-driven compaction,
-	// with the number of dead entries removed and live entries kept.
+	// with the number of dead entries removed and live entries kept. It
+	// fires on both queue backends; the name is historical.
 	HeapCompacted(now Time, removed, live int)
 }
 

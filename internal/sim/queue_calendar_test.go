@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fireOrder schedules the given offsets on a kernel pinned to kind, runs
+// it, and returns the scheduling indexes in fire order.
+func fireOrder(kind QueueKind, offsets []Time) []int {
+	k := NewOnQueue(1, kind)
+	order := make([]int, 0, len(offsets))
+	for i, d := range offsets {
+		i := i
+		k.After(d, func() { order = append(order, i) })
+	}
+	k.Run()
+	return order
+}
+
+// assertSameOrder requires the calendar (and auto) backend to fire the
+// given schedule in exactly the heap backend's order.
+func assertSameOrder(t *testing.T, offsets []Time) {
+	t.Helper()
+	want := fireOrder(QueueHeap, offsets)
+	for _, kind := range []QueueKind{QueueCalendar, QueueAuto} {
+		got := fireOrder(kind, offsets)
+		if len(got) != len(want) {
+			t.Fatalf("%v fired %d events, heap fired %d", kind, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%v diverged from heap at position %d: event %d vs %d", kind, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestCalendarOverflowPromotion schedules a far-flung tail (every entry
+// outside any plausible initial window, forcing the overflow heap) and
+// checks the rebuild-and-promote path reproduces heap order exactly.
+func TestCalendarOverflowPromotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	offsets := make([]Time, 0, 64)
+	for i := 0; i < 64; i++ {
+		offsets = append(offsets, Time(rng.Float64()*1e6)*Second)
+	}
+	// Duplicates exercise the (at, seq) tie-break across the promotion
+	// boundary.
+	offsets = append(offsets, offsets[3], offsets[17], offsets[3])
+	assertSameOrder(t, offsets)
+
+	// White-box: with a far spread the first min() must have rebuilt the
+	// wheel around the near cluster, leaving the tail in overflow.
+	k := NewOnQueue(1, QueueCalendar)
+	for _, d := range offsets {
+		k.After(d, func() {})
+	}
+	k.qc.min()
+	if k.qc.resident == 0 {
+		t.Fatalf("calendar wheel empty after rebuild: resident=0, overflow=%d", k.qc.over.size())
+	}
+	if k.qc.resident+k.qc.over.size() != len(offsets) {
+		t.Fatalf("calendar lost entries: resident=%d + overflow=%d != %d",
+			k.qc.resident, k.qc.over.size(), len(offsets))
+	}
+	for k.Step() {
+	}
+}
+
+// TestCalendarDensityResize packs enough same-window events to trip the
+// density rebuild (resident > buckets*calGrowFactor) and checks both the
+// bucket-count growth and order preservation.
+func TestCalendarDensityResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := calMinBuckets*calGrowFactor + 256 // past the resize trigger
+	offsets := make([]Time, 0, n)
+	for i := 0; i < n; i++ {
+		offsets = append(offsets, Time(rng.Float64())*Second)
+	}
+	assertSameOrder(t, offsets)
+
+	k := NewOnQueue(1, QueueCalendar)
+	for _, d := range offsets {
+		k.After(d, func() {})
+	}
+	k.qc.min() // settle the first rebuild
+	if k.qc.nb <= calMinBuckets {
+		t.Fatalf("calendar did not resize under density: nb=%d with %d pending", k.qc.nb, k.Pending())
+	}
+	for k.Step() {
+	}
+}
+
+// TestCalendarAllSameTime drives the degenerate width=0 cluster (every
+// entry at one instant): the rebuild's width fallback must keep the queue
+// functional and FIFO.
+func TestCalendarAllSameTime(t *testing.T) {
+	offsets := make([]Time, 100)
+	for i := range offsets {
+		offsets[i] = Hour
+	}
+	assertSameOrder(t, offsets)
+}
+
+// TestAutoSwitchMigratesToCalendar checks the QueueAuto density switch:
+// below the threshold the kernel stays on the heap, above it the pending
+// set migrates wholesale, and the simulation output is unaffected.
+func TestAutoSwitchMigratesToCalendar(t *testing.T) {
+	k := NewOnQueue(1, QueueAuto)
+	if k.QueueActive() != QueueHeap {
+		t.Fatalf("fresh QueueAuto kernel on %v, want heap", k.QueueActive())
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < autoCalendarThreshold-1; i++ {
+		k.After(Time(rng.Float64())*Second, func() {})
+	}
+	if k.QueueActive() != QueueHeap {
+		t.Fatalf("kernel switched below threshold: %d pending", k.Pending())
+	}
+	k.After(Second, func() {})
+	if k.QueueActive() != QueueCalendar {
+		t.Fatalf("kernel still on %v with %d pending (threshold %d)",
+			k.QueueActive(), k.Pending(), autoCalendarThreshold)
+	}
+	if k.Pending() != autoCalendarThreshold {
+		t.Fatalf("switch lost events: Pending=%d, want %d", k.Pending(), autoCalendarThreshold)
+	}
+	fired := 0
+	var last Time
+	for k.Step() {
+		fired++
+		if k.Now() < last {
+			t.Fatalf("clock ran backwards after switch")
+		}
+		last = k.Now()
+	}
+	if fired != autoCalendarThreshold {
+		t.Fatalf("fired %d events, want %d", fired, autoCalendarThreshold)
+	}
+	// A pinned-heap kernel never switches, whatever the depth.
+	kh := NewOnQueue(1, QueueHeap)
+	for i := 0; i < 2*autoCalendarThreshold; i++ {
+		kh.After(Time(i)*Microsecond+Microsecond, func() {})
+	}
+	if kh.QueueActive() != QueueHeap {
+		t.Fatalf("pinned heap kernel switched backends")
+	}
+	for kh.Step() {
+	}
+}
+
+// TestCalendarResetReplays checks Reset on both calendar-pinned and
+// migrated-auto kernels: the second run must replay the first exactly,
+// and an auto kernel must drop back to the heap like a fresh one.
+func TestCalendarResetReplays(t *testing.T) {
+	for _, kind := range []QueueKind{QueueCalendar, QueueAuto} {
+		k := NewOnQueue(42, kind)
+		run := func() []Time {
+			rng := rand.New(rand.NewSource(7))
+			var times []Time
+			for i := 0; i < 1500; i++ {
+				k.After(Time(rng.Float64())*Second, func() { times = append(times, k.Now()) })
+			}
+			k.Run()
+			return times
+		}
+		first := run()
+		k.Reset()
+		if kind == QueueAuto && k.QueueActive() != QueueHeap {
+			t.Fatalf("auto kernel still on %v after Reset", k.QueueActive())
+		}
+		second := run()
+		if len(first) != len(second) {
+			t.Fatalf("[%v] replay fired %d events, first run %d", kind, len(second), len(first))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("[%v] replay diverged at event %d: %v vs %v", kind, i, second[i], first[i])
+			}
+		}
+	}
+}
+
+// TestCalendarCancelAndCompact runs the cancel-heavy path on the calendar
+// backend: lazy deletion, compaction across buckets and overflow, and
+// truthful Pending/Live accounting.
+func TestCalendarCancelAndCompact(t *testing.T) {
+	k := NewOnQueue(1, QueueCalendar)
+	rng := rand.New(rand.NewSource(11))
+	handles := make([]Handle, 0, 600)
+	for i := 0; i < 500; i++ {
+		handles = append(handles, k.After(Time(rng.Float64())*Second, func() {}))
+	}
+	for i := 0; i < 100; i++ { // far tail in overflow
+		handles = append(handles, k.After(Time(1e5+rng.Float64()*1e5)*Second, func() {}))
+	}
+	k.qc.min() // shape the window so cancels hit both wheel and overflow
+	cancelled := 0
+	for i := 0; i < len(handles); i += 2 {
+		if handles[i].Cancel() {
+			cancelled++
+		}
+	}
+	if got := k.Live(); got != len(handles)-cancelled {
+		t.Fatalf("Live() = %d after %d cancels of %d, want %d", got, cancelled, len(handles), len(handles)-cancelled)
+	}
+	fired := 0
+	for k.Step() {
+		fired++
+	}
+	if fired != len(handles)-cancelled {
+		t.Fatalf("fired %d, want %d", fired, len(handles)-cancelled)
+	}
+}
+
+// TestCalendarZeroAllocSteadyState pins the acceptance claim: a warmed-up
+// calendar kernel schedules and fires without allocating — runs, bucket
+// array, overflow heap, and rebuild scratch are all reused.
+func TestCalendarZeroAllocSteadyState(t *testing.T) {
+	k := NewOnQueue(1, QueueCalendar)
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	const depth = 4096
+	var fn func()
+	fn = func() {
+		if n > 0 {
+			n--
+			k.After(Time(rng.Float64())*Millisecond, fn)
+		}
+	}
+	warm := func(events int) {
+		n = events
+		for i := 0; i < depth; i++ {
+			k.After(Time(rng.Float64())*Millisecond, fn)
+		}
+		k.Run()
+	}
+	// Warm-up: the arena, scratch, overflow heap, and free list all
+	// ratchet to the workload's high-water mark over the first few runs;
+	// steady state is everything after that.
+	warm(200_000)
+	warm(50_000)
+	warm(50_000)
+	allocs := testing.AllocsPerRun(5, func() { warm(50_000) })
+	if allocs > 0 {
+		t.Fatalf("calendar steady state allocates: %.1f allocs per 50k-event run", allocs)
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueueKindStringAndParse(t *testing.T) {
+	cases := []struct {
+		kind QueueKind
+		name string
+	}{
+		{QueueAuto, "auto"},
+		{QueueHeap, "heap"},
+		{QueueCalendar, "calendar"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.name {
+			t.Errorf("QueueKind(%d).String() = %q, want %q", c.kind, got, c.name)
+		}
+		parsed, err := ParseQueueKind(c.name)
+		if err != nil || parsed != c.kind {
+			t.Errorf("ParseQueueKind(%q) = %v, %v, want %v, nil", c.name, parsed, err, c.kind)
+		}
+	}
+	if _, err := ParseQueueKind("splay"); err == nil || !strings.Contains(err.Error(), "splay") {
+		t.Errorf("ParseQueueKind(splay) error = %v, want mention of the bad name", err)
+	}
+}
+
+func TestSetDefaultQueue(t *testing.T) {
+	old := DefaultQueue()
+	defer SetDefaultQueue(old)
+
+	SetDefaultQueue(QueueCalendar)
+	if got := DefaultQueue(); got != QueueCalendar {
+		t.Fatalf("DefaultQueue() = %v after SetDefaultQueue(calendar)", got)
+	}
+	k := New(1)
+	if got := k.QueueConfigured(); got != QueueCalendar {
+		t.Errorf("QueueConfigured() = %v, want calendar", got)
+	}
+	if got := k.QueueActive(); got != QueueCalendar {
+		t.Errorf("QueueActive() = %v, want calendar", got)
+	}
+
+	SetDefaultQueue(QueueHeap)
+	k = New(1)
+	if got, want := k.QueueConfigured(), QueueHeap; got != want {
+		t.Errorf("QueueConfigured() = %v, want %v", got, want)
+	}
+	if got := k.QueueActive(); got != QueueHeap {
+		t.Errorf("QueueActive() = %v, want heap", got)
+	}
+}
+
+func TestQueueBackendKind(t *testing.T) {
+	var h heapQueue
+	if got := h.kind(); got != QueueHeap {
+		t.Errorf("heapQueue.kind() = %v", got)
+	}
+	var c calendarQueue
+	if got := c.kind(); got != QueueCalendar {
+		t.Errorf("calendarQueue.kind() = %v", got)
+	}
+}
+
+// TestCalendarCompact drives cancellation-triggered compaction on the
+// calendar backend: once dead entries outnumber live ones past
+// compactMin, Cancel must sweep them out of the bucket wheel and the
+// overflow heap without disturbing the fire order of survivors.
+func TestCalendarCompact(t *testing.T) {
+	const n = 200
+	k := NewOnQueue(7, QueueCalendar)
+	fired := make([]int, 0, n)
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		i := i
+		handles[i] = k.At(Time(i+1)*Microsecond, func() { fired = append(fired, i) })
+	}
+	// Fire the first event so the wheel has folded entries in from the
+	// overflow heap before the cancellation storm hits.
+	k.Step()
+	cancelled := 0
+	for i := 1; i < n; i += 2 {
+		if handles[i].Cancel() {
+			cancelled++
+		}
+	}
+	// Second cancel of the same handle is a no-op.
+	if handles[1].Cancel() {
+		t.Fatal("double Cancel reported pending")
+	}
+	if k.qsize() >= compactMin && k.dead*2 > k.qsize() {
+		t.Fatalf("compaction did not trigger: dead=%d qsize=%d", k.dead, k.qsize())
+	}
+	k.Run()
+	want := 1 + (n - 1 - cancelled)
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+	for j := 1; j < len(fired); j++ {
+		if fired[j] <= fired[j-1] {
+			t.Fatalf("fire order broken at %d: %d after %d", j, fired[j], fired[j-1])
+		}
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	k := New(1)
+	if _, ok := k.NextEventAt(); ok {
+		t.Fatal("NextEventAt reported an event on an empty kernel")
+	}
+	k.At(5*Millisecond, func() {})
+	at, ok := k.NextEventAt()
+	if !ok || at != 5*Millisecond {
+		t.Fatalf("NextEventAt = %v, %v, want 5ms, true", at, ok)
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Errorf("Seconds() = %v, want 0.25", got)
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	cases := []struct{ n, lo, hi, want int }{
+		{-3, 1, 8, 1},
+		{5, 1, 8, 5},
+		{99, 1, 8, 8},
+	}
+	for _, c := range cases {
+		if got := clampInt(c.n, c.lo, c.hi); got != c.want {
+			t.Errorf("clampInt(%d, %d, %d) = %d, want %d", c.n, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestProcID(t *testing.T) {
+	k := New(1)
+	var a, b int
+	k.Go(func(p *Proc) { a = p.ID() })
+	k.Go(func(p *Proc) { b = p.ID() })
+	k.Run()
+	if a == b {
+		t.Fatalf("two procs share ID %d", a)
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, 3)
+	if got := r.Capacity(); got != 3 {
+		t.Errorf("Capacity() = %d, want 3", got)
+	}
+	q := NewQueue[int](k)
+	if got := q.Len(); got != 0 {
+		t.Errorf("empty Queue Len() = %d", got)
+	}
+	q.Put(42)
+	if got := q.Len(); got != 1 {
+		t.Errorf("Queue Len() = %d after Put, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResource with capacity 0 did not panic")
+		}
+	}()
+	NewResource(k, 0)
+}

@@ -1,6 +1,9 @@
 package topology
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Closed-form shortest-path distances. Every regular builder in this
 // package wires the same local shape — routers in a known coordinate
@@ -22,14 +25,62 @@ type analytic struct {
 	leg []int8
 	// routerDist returns the hop count between two router coordinates.
 	routerDist func(a, b int32) int
+
+	// Dense router-distance table, built lazily on first use when the
+	// router count is small enough (≤ denseTableMax, so ≤ 1 MiB). The
+	// closed-form routerDist closures cost a handful of divmods per call;
+	// all-pairs loops like alloc.Dilation call dist millions of times, so
+	// one uint8 load from a row the loop keeps hot beats recomputing the
+	// coordinates every time. nr is the coordinate-space size (max+1).
+	nr        int32
+	tableOnce sync.Once
+	table     []uint8
 }
+
+// denseTableMax caps the router-coordinate space a dense table is built
+// for: 1024² entries is 1 MiB, built once per graph.
+const denseTableMax = 1024
 
 func (a *analytic) dist(src, dst int) int {
 	d := int(a.leg[src]) + int(a.leg[dst])
 	if ra, rb := a.router[src], a.router[dst]; ra != rb {
-		d += a.routerDist(ra, rb)
+		if t := a.denseTable(); t != nil {
+			d += int(t[int(ra)*int(a.nr)+int(rb)])
+		} else {
+			d += a.routerDist(ra, rb)
+		}
 	}
 	return d
+}
+
+// denseTable returns the dense router-distance table, building it on
+// first use. Dist is called concurrently through the shared Graph oracle,
+// so the build is guarded by a Once (its fast path is one atomic load).
+func (a *analytic) denseTable() []uint8 {
+	a.tableOnce.Do(a.buildTable)
+	return a.table
+}
+
+func (a *analytic) buildTable() {
+	nr := int(a.nr)
+	if nr < 2 || nr > denseTableMax {
+		return
+	}
+	t := make([]uint8, nr*nr)
+	for ra := 0; ra < nr; ra++ {
+		row := t[ra*nr : (ra+1)*nr]
+		for rb := 0; rb < nr; rb++ {
+			if rb == ra {
+				continue // diagonal never read: dist guards ra != rb
+			}
+			d := a.routerDist(int32(ra), int32(rb))
+			if d > 255 {
+				return // leave a.table nil; keep the closure
+			}
+			row[rb] = uint8(d)
+		}
+	}
+	a.table = t
 }
 
 // attachAnalytic records the oracle; builders call it after adding all
@@ -42,7 +93,13 @@ func (g *Graph) attachAnalytic(router []int32, routerDist func(a, b int32) int) 
 			leg[v] = 1
 		}
 	}
-	g.analytic = &analytic{router: router, leg: leg, routerDist: routerDist}
+	var nr int32
+	for _, r := range router {
+		if r+1 > nr {
+			nr = r + 1
+		}
+	}
+	g.analytic = &analytic{router: router, leg: leg, routerDist: routerDist, nr: nr}
 }
 
 // ringDist is the hop count along one torus/mesh dimension of width w:

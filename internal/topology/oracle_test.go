@@ -272,3 +272,43 @@ func ExampleEdge_Other() {
 	fmt.Println(e.Other(2), e.Other(9))
 	// Output: 9 2
 }
+
+// TestDenseTableBailouts pins the cases where the analytic oracle must
+// keep the closed-form closure instead of tabulating: a router distance
+// that overflows uint8, a coordinate space too small to bother with, and
+// one too large to spend a megabyte on.
+func TestDenseTableBailouts(t *testing.T) {
+	far := &analytic{
+		router:     []int32{0, 1},
+		leg:        []int8{1, 0},
+		nr:         2,
+		routerDist: func(a, b int32) int { return 300 },
+	}
+	if far.denseTable() != nil {
+		t.Fatal("table built despite a distance over 255")
+	}
+	if got := far.dist(0, 1); got != 301 {
+		t.Fatalf("dist = %d via closure fallback, want 301", got)
+	}
+
+	tiny := &analytic{
+		router:     []int32{0},
+		leg:        []int8{0},
+		nr:         1,
+		routerDist: func(a, b int32) int { return 1 },
+	}
+	if tiny.denseTable() != nil {
+		t.Fatal("table built for a single-router space")
+	}
+	if got := tiny.dist(0, 0); got != 0 {
+		t.Fatalf("same-vertex dist = %d, want 0", got)
+	}
+
+	huge := &analytic{
+		nr:         denseTableMax + 1,
+		routerDist: func(a, b int32) int { return 1 },
+	}
+	if huge.denseTable() != nil {
+		t.Fatal("table built past denseTableMax")
+	}
+}

@@ -239,8 +239,16 @@ func (g *Graph) buildTree(dst int, disabled map[int]bool) [][]halfEdge {
 // routing in a folded Clos. Route panics if src or dst is not a vertex
 // or no path exists.
 func (g *Graph) Route(src, dst int) (edges []int, verts []int) {
+	return g.RouteAppend(src, dst, nil, nil)
+}
+
+// RouteAppend is Route appending into caller-provided slices (reset to
+// length zero first), so per-message routing on a hot send path can reuse
+// scratch buffers instead of allocating. It returns the filled slices.
+func (g *Graph) RouteAppend(src, dst int, edges, verts []int) ([]int, []int) {
+	edges, verts = edges[:0], verts[:0]
 	if src == dst {
-		return nil, []int{src}
+		return edges, append(verts, src)
 	}
 	tree := g.tree(dst)
 	verts = append(verts, src)
